@@ -1,0 +1,103 @@
+// Command fmerge applies function merging to a textual IR module.
+//
+// Usage:
+//
+//	fmerge [-algo salssa|salssa-nopc|fmsa] [-t N] [-target x86-64|thumb]
+//	       [-print] [-pair f1,f2] file.ll
+//
+// Without -pair, the whole-module pipeline runs (ranking + cost model);
+// with -pair, the named functions are merged unconditionally. -print
+// writes the resulting module to stdout; statistics go to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	repro "repro"
+)
+
+func main() {
+	algo := flag.String("algo", "salssa", "merging algorithm: salssa, salssa-nopc or fmsa")
+	threshold := flag.Int("t", 1, "exploration threshold (candidates tried per function)")
+	target := flag.String("target", "x86-64", "size-model target: x86-64 or thumb")
+	print := flag.Bool("print", false, "print the resulting module to stdout")
+	pair := flag.String("pair", "", "merge exactly this comma-separated function pair")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fmerge [flags] file.ll")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := repro.ParseModule(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	var tgt repro.Target
+	switch *target {
+	case "x86-64":
+		tgt = repro.X86_64
+	case "thumb":
+		tgt = repro.Thumb
+	default:
+		fatal(fmt.Errorf("unknown target %q", *target))
+	}
+	var alg repro.Algorithm
+	switch *algo {
+	case "salssa":
+		alg = repro.SalSSA
+	case "salssa-nopc":
+		alg = repro.SalSSANoPC
+	case "fmsa":
+		alg = repro.FMSA
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	before := repro.EstimateSize(m, tgt)
+	if *pair != "" {
+		names := strings.SplitN(*pair, ",", 2)
+		if len(names) != 2 {
+			fatal(fmt.Errorf("-pair wants f1,f2"))
+		}
+		merged, stats, err := repro.MergeFunctions(m, names[0], names[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "merged @%s + @%s -> @%s\n", names[0], names[1], merged.Name())
+		fmt.Fprintf(os.Stderr, "  matches=%d (instructions %d), selects=%d, label selections=%d, xor rewrites=%d\n",
+			stats.Matches, stats.InstrMatches, stats.Selects, stats.LabelSelections, stats.XorRewrites)
+		fmt.Fprintf(os.Stderr, "  repaired defs=%d, coalesced pairs=%d\n", stats.RepairedDefs, stats.CoalescedPairs)
+	} else {
+		rep := repro.OptimizeModule(m, repro.Options{Algorithm: alg, Threshold: *threshold, Target: tgt})
+		fmt.Fprintf(os.Stderr, "%s[t=%d]: %d merges committed, %d attempts\n",
+			alg, *threshold, len(rep.Merges), rep.Attempts)
+		for _, rec := range rep.Merges {
+			status := "committed"
+			if !rec.Committed {
+				status = "skipped"
+			}
+			fmt.Fprintf(os.Stderr, "  %-9s @%s + @%s (profit %d bytes)\n", status, rec.F1, rec.F2, rec.Profit)
+		}
+	}
+	if err := repro.VerifyModule(m); err != nil {
+		fatal(fmt.Errorf("result does not verify: %w", err))
+	}
+	after := repro.EstimateSize(m, tgt)
+	fmt.Fprintf(os.Stderr, "size: %d -> %d bytes (%.2f%% reduction, %s)\n",
+		before, after, 100*float64(before-after)/float64(before), tgt)
+	if *print {
+		fmt.Print(repro.FormatModule(m))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fmerge:", err)
+	os.Exit(1)
+}

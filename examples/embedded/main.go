@@ -1,0 +1,42 @@
+// Embedded: the MiBench scenario. Code size is the scarce resource on
+// embedded targets; this example runs function merging over MiBench-like
+// programs with the ARM Thumb size model (the paper's Figure 18 setup)
+// and prints the per-program size ledger.
+package main
+
+import (
+	"fmt"
+
+	repro "repro"
+	"repro/internal/ir"
+	"repro/internal/synth"
+)
+
+func main() {
+	fmt.Println("MiBench-like embedded programs, ARM Thumb size model, SalSSA[t=1]:")
+	fmt.Printf("%-14s %8s %8s %8s %7s\n", "program", "funcs", "before", "after", "red%")
+	var totalBefore, totalAfter int
+	for _, p := range synth.MiBench() {
+		if p.Funcs > 128 {
+			p.Funcs = 128 // keep the demo quick; cmd/repro runs full scale
+		}
+		m := synth.Generate(p)
+		nfuncs := len(m.Defined())
+		rep := repro.OptimizeModule(m, repro.Options{
+			Algorithm: repro.SalSSA,
+			Threshold: 1,
+			Target:    repro.Thumb,
+		})
+		if err := ir.VerifyModule(m); err != nil {
+			fmt.Printf("%-14s VERIFY FAILED: %v\n", p.Name, err)
+			continue
+		}
+		totalBefore += rep.BaselineBytes
+		totalAfter += rep.FinalBytes
+		fmt.Printf("%-14s %8d %8d %8d %6.1f%%\n",
+			p.Name, nfuncs, rep.BaselineBytes, rep.FinalBytes, rep.Reduction())
+	}
+	fmt.Printf("%-14s %8s %8d %8d %6.1f%%\n", "total", "",
+		totalBefore, totalAfter,
+		100*float64(totalBefore-totalAfter)/float64(totalBefore))
+}

@@ -1,0 +1,74 @@
+// Quickstart: parse two similar functions (the paper's Figure 2
+// motivating example), merge them with SalSSA, and print the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+)
+
+const input = `
+declare i32 @start(i32)
+declare i32 @body(i32)
+declare i32 @other(i32)
+declare i32 @end(i32)
+
+define i32 @F1(i32 %n) {
+l1:
+  %x1 = call i32 @start(i32 %n)
+  %x2 = icmp slt i32 %x1, 0
+  br i1 %x2, label %l2, label %l3
+l2:
+  %x3 = call i32 @body(i32 %x1)
+  br label %l4
+l3:
+  %x4 = call i32 @other(i32 %x1)
+  br label %l4
+l4:
+  %x5 = phi i32 [ %x3, %l2 ], [ %x4, %l3 ]
+  %x6 = call i32 @end(i32 %x5)
+  ret i32 %x6
+}
+
+define i32 @F2(i32 %n) {
+l1:
+  %v1 = call i32 @start(i32 %n)
+  br label %l2
+l2:
+  %v2 = phi i32 [ %v1, %l1 ], [ %v4, %l3 ]
+  %v3 = icmp ne i32 %v2, 0
+  br i1 %v3, label %l3, label %l4
+l3:
+  %v4 = call i32 @body(i32 %v2)
+  br label %l2
+l4:
+  %v5 = call i32 @end(i32 %v2)
+  ret i32 %v5
+}
+`
+
+func main() {
+	m, err := repro.ParseModule(input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before: %d bytes (x86-64 size model)\n", repro.EstimateSize(m, repro.X86_64))
+
+	merged, stats, err := repro.MergeFunctions(m, "F1", "F2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged @F1 and @F2 into @%s\n", merged.Name())
+	fmt.Printf("  aligned entries: %d (%d instructions)\n", stats.Matches, stats.InstrMatches)
+	fmt.Printf("  operand selects: %d, label selections: %d, xor rewrites: %d\n",
+		stats.Selects, stats.LabelSelections, stats.XorRewrites)
+	fmt.Printf("  SSA repairs: %d definitions, %d coalesced pairs\n",
+		stats.RepairedDefs, stats.CoalescedPairs)
+	if err := repro.VerifyModule(m); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after: %d bytes\n\n", repro.EstimateSize(m, repro.X86_64))
+	fmt.Println(repro.FormatModule(m))
+}

@@ -1,0 +1,265 @@
+// Package align implements the sequence-alignment core shared by FMSA
+// and SalSSA: functions are linearized into sequences of labels and
+// instructions, and a Needleman–Wunsch dynamic program finds the optimal
+// pairing of mergeable entries (match-or-gap scoring: incompatible
+// entries are never aligned against each other, they take gaps).
+//
+// The DP matrix size is accounted and reported because it dominates the
+// memory profile of function merging (the paper's Figure 22).
+package align
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Entry is one element of a linearized function: either a block label or
+// an instruction.
+type Entry struct {
+	Label *ir.Block
+	Instr *ir.Instruction
+}
+
+// IsLabel reports whether the entry is a block label.
+func (e Entry) IsLabel() bool { return e.Label != nil }
+
+// String returns a short debug form.
+func (e Entry) String() string {
+	if e.IsLabel() {
+		return "label %" + e.Label.Name()
+	}
+	return e.Instr.Op().String()
+}
+
+// Linearize flattens f into a sequence of labels and instructions in
+// block order. Phi-nodes and landingpads are excluded: SalSSA treats
+// them as attached to their block's label (the paper aligns neither),
+// and FMSA runs after register demotion, which removes phis entirely.
+func Linearize(f *ir.Function) []Entry {
+	var seq []Entry
+	for _, b := range f.Blocks {
+		seq = append(seq, Entry{Label: b})
+		for _, in := range b.Instrs() {
+			if in.Op() == ir.OpPhi || in.Op() == ir.OpLandingPad {
+				continue
+			}
+			seq = append(seq, Entry{Instr: in})
+		}
+	}
+	return seq
+}
+
+// Mergeable reports whether two entries may be aligned as a matching
+// pair. Labels always match labels. Instructions match when they have
+// the same opcode, result type, operand-type vector and compatible
+// auxiliary data; operands that must remain constant after merging
+// (switch case values, callees, struct GEP indices, alloca types) must
+// be identical, since they cannot be selected by the function identifier
+// at run time.
+func Mergeable(a, b Entry) bool {
+	if a.IsLabel() || b.IsLabel() {
+		return a.IsLabel() && b.IsLabel()
+	}
+	x, y := a.Instr, b.Instr
+	if x.Op() != y.Op() || !ir.TypesEqual(x.Type(), y.Type()) {
+		return false
+	}
+	if x.NumOperands() != y.NumOperands() {
+		return false
+	}
+	for i := 0; i < x.NumOperands(); i++ {
+		if !ir.TypesEqual(x.Operand(i).Type(), y.Operand(i).Type()) {
+			return false
+		}
+	}
+	switch x.Op() {
+	case ir.OpICmp, ir.OpFCmp:
+		return x.Pred == y.Pred
+	case ir.OpAlloca:
+		return ir.TypesEqual(x.AllocTy, y.AllocTy)
+	case ir.OpCall, ir.OpInvoke:
+		// Different callees would need a function-pointer select; like the
+		// prototype, restrict merging to identical callees.
+		return x.Callee() == y.Callee()
+	case ir.OpSwitch:
+		cx, cy := x.SwitchCases(), y.SwitchCases()
+		if len(cx) != len(cy) {
+			return false
+		}
+		for i := range cx {
+			if cx[i].Val.V != cy[i].Val.V {
+				return false
+			}
+		}
+		return true
+	case ir.OpGEP:
+		// Struct field indices must remain literal constants.
+		tx, ok := x.Operand(0).Type().(*ir.PointerType)
+		if !ok {
+			return false
+		}
+		cur := tx.Elem
+		for i := 2; i < x.NumOperands(); i++ {
+			st, isStruct := cur.(*ir.StructType)
+			if isStruct {
+				ix, okx := x.Operand(i).(*ir.ConstInt)
+				iy, oky := y.Operand(i).(*ir.ConstInt)
+				if !okx || !oky || ix.V != iy.V {
+					return false
+				}
+				cur = st.Fields[ix.V]
+				continue
+			}
+			if at, isArr := cur.(*ir.ArrayType); isArr {
+				cur = at.Elem
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// Pair is one row of an alignment: a matched pair (both non-nil) or a
+// gap (exactly one non-nil).
+type Pair struct {
+	A, B *Entry
+}
+
+// IsMatch reports whether the pair aligns two entries.
+func (p Pair) IsMatch() bool { return p.A != nil && p.B != nil }
+
+// Options configures the alignment scoring.
+type Options struct {
+	// InstrMatchScore is the score for aligning two mergeable
+	// instructions (default 2: one instruction saved, roughly).
+	InstrMatchScore int32
+	// LabelMatchScore is the score for aligning two labels (default 1).
+	LabelMatchScore int32
+	// GapPenalty is subtracted per gap entry (default 0; with
+	// match-or-gap scoring any positive match weight already maximises
+	// matched entries).
+	GapPenalty int32
+	// MaxCells caps the DP matrix size; alignments needing more cells
+	// fail with ErrTooLarge. Zero means no cap.
+	MaxCells int64
+	// Linear selects Hirschberg's divide-and-conquer alignment: the same
+	// optimal score in O(n+m) memory for roughly twice the time. An
+	// extension beyond the paper, which uses the quadratic DP.
+	Linear bool
+}
+
+// DefaultOptions returns the scoring used throughout the evaluation.
+func DefaultOptions() Options {
+	return Options{InstrMatchScore: 2, LabelMatchScore: 1, GapPenalty: 0}
+}
+
+// ErrTooLarge is returned when the DP matrix would exceed Options.MaxCells.
+var ErrTooLarge = fmt.Errorf("align: sequences too large")
+
+// Result is the outcome of an alignment.
+type Result struct {
+	Pairs []Pair
+	// Score is the DP objective value.
+	Score int32
+	// Matches counts matched pairs (labels + instructions).
+	Matches int
+	// InstrMatches counts matched instruction pairs only.
+	InstrMatches int
+	// MatrixBytes is the memory used by the DP matrices, the dominant
+	// memory cost of merging (quadratic in sequence length).
+	MatrixBytes int64
+}
+
+// Needleman–Wunsch backtrack directions.
+const (
+	dirDiag byte = iota + 1
+	dirUp        // gap in B (consume A)
+	dirLeft      // gap in A (consume B)
+)
+
+// Align computes the optimal global alignment of the two sequences under
+// match-or-gap scoring.
+func Align(a, b []Entry, opts Options) (*Result, error) {
+	n, m := len(a), len(b)
+	cells := int64(n+1) * int64(m+1)
+	if opts.MaxCells > 0 && cells > opts.MaxCells {
+		return nil, ErrTooLarge
+	}
+	// score uses int32 (4 bytes) and dir one byte per cell, matching the
+	// quadratic footprint the paper measures.
+	score := make([]int32, cells)
+	dir := make([]byte, cells)
+	idx := func(i, j int) int64 { return int64(i)*int64(m+1) + int64(j) }
+
+	gap := opts.GapPenalty
+	for i := 1; i <= n; i++ {
+		score[idx(i, 0)] = score[idx(i-1, 0)] - gap
+		dir[idx(i, 0)] = dirUp
+	}
+	for j := 1; j <= m; j++ {
+		score[idx(0, j)] = score[idx(0, j-1)] - gap
+		dir[idx(0, j)] = dirLeft
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			best := score[idx(i-1, j)] - gap
+			d := dirUp
+			if s := score[idx(i, j-1)] - gap; s > best {
+				best, d = s, dirLeft
+			}
+			if Mergeable(a[i-1], b[j-1]) {
+				ms := opts.InstrMatchScore
+				if a[i-1].IsLabel() {
+					ms = opts.LabelMatchScore
+				}
+				if s := score[idx(i-1, j-1)] + ms; s >= best {
+					best, d = s, dirDiag
+				}
+			}
+			score[idx(i, j)] = best
+			dir[idx(i, j)] = d
+		}
+	}
+
+	res := &Result{
+		Score:       score[idx(n, m)],
+		MatrixBytes: cells * 5,
+	}
+	// Backtrack.
+	var rev []Pair
+	for i, j := n, m; i > 0 || j > 0; {
+		switch dir[idx(i, j)] {
+		case dirDiag:
+			rev = append(rev, Pair{A: &a[i-1], B: &b[j-1]})
+			res.Matches++
+			if !a[i-1].IsLabel() {
+				res.InstrMatches++
+			}
+			i--
+			j--
+		case dirUp:
+			rev = append(rev, Pair{A: &a[i-1]})
+			i--
+		case dirLeft:
+			rev = append(rev, Pair{B: &b[j-1]})
+			j--
+		default:
+			panic("align: corrupt backtrack matrix")
+		}
+	}
+	res.Pairs = make([]Pair, len(rev))
+	for i := range rev {
+		res.Pairs[i] = rev[len(rev)-1-i]
+	}
+	return res, nil
+}
+
+// AlignFunctions linearizes both functions and aligns them with the
+// solver selected by opts.Linear.
+func AlignFunctions(f1, f2 *ir.Function, opts Options) (*Result, error) {
+	if opts.Linear {
+		return AlignLinear(Linearize(f1), Linearize(f2), opts)
+	}
+	return Align(Linearize(f1), Linearize(f2), opts)
+}

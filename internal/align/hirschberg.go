@@ -1,0 +1,132 @@
+package align
+
+// Hirschberg's linear-space variant of the alignment. The paper's §5.5
+// identifies the quadratic DP matrix as the dominant memory cost of
+// function merging (6.5 GB for 403.gcc under FMSA); this divide-and-
+// conquer formulation produces the same optimal score using O(n+m)
+// memory at the cost of roughly doubling the work. It is offered as an
+// extension (Options via AlignLinear / driver ablation benchmarks): with
+// it, even demotion-inflated alignments stay small, trading the paper's
+// memory argument for extra time.
+
+// AlignLinear computes an optimal global alignment of a and b with the
+// same scoring as Align but in linear space. The alignment score equals
+// Align's; the recovered path may differ among co-optimal alignments.
+func AlignLinear(a, b []Entry, opts Options) (*Result, error) {
+	h := &hirschberg{opts: opts}
+	pairs := h.solve(a, b)
+	res := &Result{Pairs: pairs, MatrixBytes: h.peakBytes}
+	for _, p := range pairs {
+		if p.IsMatch() {
+			res.Matches++
+			if !p.A.IsLabel() {
+				res.InstrMatches++
+			}
+			if p.A.IsLabel() {
+				res.Score += opts.LabelMatchScore
+			} else {
+				res.Score += opts.InstrMatchScore
+			}
+		} else {
+			res.Score -= opts.GapPenalty
+		}
+	}
+	return res, nil
+}
+
+type hirschberg struct {
+	opts      Options
+	peakBytes int64
+}
+
+func (h *hirschberg) matchScore(a, b Entry) (int32, bool) {
+	if !Mergeable(a, b) {
+		return 0, false
+	}
+	if a.IsLabel() {
+		return h.opts.LabelMatchScore, true
+	}
+	return h.opts.InstrMatchScore, true
+}
+
+// lastRow returns the final DP row aligning a against b (forward
+// direction), i.e. row[j] = best score of aligning all of a with b[:j].
+func (h *hirschberg) lastRow(a, b []Entry, reversed bool) []int32 {
+	m := len(b)
+	prev := make([]int32, m+1)
+	cur := make([]int32, m+1)
+	h.account(int64(2 * (m + 1) * 4))
+	gap := h.opts.GapPenalty
+	for j := 1; j <= m; j++ {
+		prev[j] = prev[j-1] - gap
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = prev[0] - gap
+		ai := a[i-1]
+		if reversed {
+			ai = a[len(a)-i]
+		}
+		for j := 1; j <= m; j++ {
+			bj := b[j-1]
+			if reversed {
+				bj = b[m-j]
+			}
+			best := prev[j] - gap
+			if s := cur[j-1] - gap; s > best {
+				best = s
+			}
+			if ms, ok := h.matchScore(ai, bj); ok {
+				if s := prev[j-1] + ms; s > best {
+					best = s
+				}
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev
+}
+
+func (h *hirschberg) account(bytes int64) {
+	if bytes > h.peakBytes {
+		h.peakBytes = bytes
+	}
+}
+
+func (h *hirschberg) solve(a, b []Entry) []Pair {
+	switch {
+	case len(a) == 0:
+		out := make([]Pair, len(b))
+		for j := range b {
+			out[j] = Pair{B: &b[j]}
+		}
+		return out
+	case len(b) == 0:
+		out := make([]Pair, len(a))
+		for i := range a {
+			out[i] = Pair{A: &a[i]}
+		}
+		return out
+	case len(a) == 1 || len(b) == 1:
+		// Small enough for the quadratic solver; its matrix is O(n+m).
+		res, err := Align(a, b, h.opts)
+		if err != nil {
+			panic("align: base-case alignment cannot fail")
+		}
+		h.account(res.MatrixBytes)
+		return res.Pairs
+	}
+	mid := len(a) / 2
+	fwd := h.lastRow(a[:mid], b, false)
+	bwd := h.lastRow(a[mid:], b, true)
+	split, best := 0, int32(-1<<30)
+	for j := 0; j <= len(b); j++ {
+		if s := fwd[j] + bwd[len(b)-j]; s > best {
+			best = s
+			split = j
+		}
+	}
+	left := h.solve(a[:mid], b[:split])
+	right := h.solve(a[mid:], b[split:])
+	return append(left, right...)
+}

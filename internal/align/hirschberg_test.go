@@ -1,0 +1,114 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irtext"
+)
+
+// TestLinearMatchesQuadraticScore: Hirschberg must produce the same
+// optimal score as the quadratic DP on random sequences.
+func TestLinearMatchesQuadraticScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 80; trial++ {
+		a := randomEntrySeq(rng, rng.Intn(24))
+		b := randomEntrySeq(rng, rng.Intn(24))
+		quad, err := Align(a, b, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lin, err := AlignLinear(a, b, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if quad.Score != lin.Score {
+			t.Fatalf("trial %d: quadratic score %d, linear %d", trial, quad.Score, lin.Score)
+		}
+	}
+}
+
+// TestLinearAlignmentIsValid: the recovered path is a real alignment.
+func TestLinearAlignmentIsValid(t *testing.T) {
+	m := irtext.MustParse(irtext.Fig2Module)
+	s1 := Linearize(m.FuncByName("F1"))
+	s2 := Linearize(m.FuncByName("F2"))
+	res, err := AlignLinear(s1, s2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, j := 0, 0
+	for _, p := range res.Pairs {
+		if p.A != nil {
+			if p.A != &s1[i] {
+				t.Fatalf("A side out of order at %d", i)
+			}
+			i++
+		}
+		if p.B != nil {
+			if p.B != &s2[j] {
+				t.Fatalf("B side out of order at %d", j)
+			}
+			j++
+		}
+		if p.IsMatch() && !Mergeable(*p.A, *p.B) {
+			t.Fatalf("aligned non-mergeable pair")
+		}
+	}
+	if i != len(s1) || j != len(s2) {
+		t.Fatalf("consumed %d/%d and %d/%d", i, len(s1), j, len(s2))
+	}
+}
+
+// TestLinearMemoryIsLinear: peak accounted memory grows linearly, not
+// quadratically.
+func TestLinearMemoryIsLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomEntrySeq(rng, 400)
+	b := randomEntrySeq(rng, 400)
+	quad, err := Align(a, b, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := AlignLinear(a, b, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.MatrixBytes*20 > quad.MatrixBytes {
+		t.Errorf("linear variant used %d bytes, quadratic %d — expected >20x gap",
+			lin.MatrixBytes, quad.MatrixBytes)
+	}
+}
+
+// TestLinearIdenticalFunctionsFullyMatch mirrors the quadratic test.
+func TestLinearIdenticalFunctionsFullyMatch(t *testing.T) {
+	m := irtext.MustParse(irtext.Fig2Module)
+	f1 := m.FuncByName("F1")
+	clone, _ := ir.CloneFunction(f1, "F1clone")
+	opts := DefaultOptions()
+	opts.Linear = true
+	res, err := AlignFunctions(f1, clone, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Pairs {
+		if !p.IsMatch() {
+			t.Fatalf("gap aligning a function against its clone")
+		}
+	}
+}
+
+// TestLinearEmptySides: degenerate inputs.
+func TestLinearEmptySides(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	seq := randomEntrySeq(rng, 6)
+	res, err := AlignLinear(nil, seq, DefaultOptions())
+	if err != nil || len(res.Pairs) != 6 || res.Matches != 0 {
+		t.Errorf("empty A: %v, %d pairs, %d matches", err, len(res.Pairs), res.Matches)
+	}
+	res, err = AlignLinear(seq, nil, DefaultOptions())
+	if err != nil || len(res.Pairs) != 6 || res.Matches != 0 {
+		t.Errorf("empty B: %v, %d pairs, %d matches", err, len(res.Pairs), res.Matches)
+	}
+}

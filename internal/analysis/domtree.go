@@ -1,0 +1,293 @@
+// Package analysis provides control-flow analyses over the IR: reverse
+// postorder, reachability, dominator trees (Cooper–Harvey–Kennedy),
+// dominance frontiers and iterated dominance frontiers. These underpin
+// SSA construction (mem2reg) and SalSSA's dominance repair.
+package analysis
+
+import (
+	"repro/internal/ir"
+)
+
+// ReversePostorder returns the reachable blocks of f in reverse
+// postorder; the entry block is first.
+func ReversePostorder(f *ir.Function) []*ir.Block {
+	var order []*ir.Block
+	seen := map[*ir.Block]bool{}
+	// Iterative DFS to avoid deep recursion on long block chains (the
+	// merging code generators create one block per instruction).
+	type frame struct {
+		b    *ir.Block
+		next int
+	}
+	var stack []frame
+	push := func(b *ir.Block) {
+		seen[b] = true
+		stack = append(stack, frame{b: b})
+	}
+	push(f.Entry())
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		succs := fr.b.Succs()
+		if fr.next < len(succs) {
+			s := succs[fr.next]
+			fr.next++
+			if !seen[s] {
+				push(s)
+			}
+			continue
+		}
+		order = append(order, fr.b)
+		stack = stack[:len(stack)-1]
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Reachable returns the set of blocks reachable from the entry of f.
+func Reachable(f *ir.Function) map[*ir.Block]bool {
+	out := map[*ir.Block]bool{}
+	for _, b := range ReversePostorder(f) {
+		out[b] = true
+	}
+	return out
+}
+
+// DomTree is a dominator tree over the reachable blocks of a function.
+type DomTree struct {
+	fn    *ir.Function
+	order map[*ir.Block]int // block -> reverse-postorder index
+	idom  []int32           // rpo index -> idom rpo index (entry maps to itself)
+	kids  [][]*ir.Block     // rpo index -> dominator-tree children
+	rpo   []*ir.Block
+}
+
+// NewDomTree computes the dominator tree of f using the iterative
+// algorithm of Cooper, Harvey and Kennedy ("A Simple, Fast Dominance
+// Algorithm").
+func NewDomTree(f *ir.Function) *DomTree {
+	rpo := ReversePostorder(f)
+	n := len(rpo)
+	t := &DomTree{
+		fn:    f,
+		order: make(map[*ir.Block]int, n),
+		idom:  make([]int32, n),
+		kids:  make([][]*ir.Block, n),
+		rpo:   rpo,
+	}
+	for i, b := range rpo {
+		t.order[b] = i
+	}
+	// Predecessor index lists derived from successor edges (avoiding the
+	// per-block map allocations of Preds; the tree is rebuilt constantly
+	// during merge clean-up, so construction cost matters).
+	preds := make([][]int32, n)
+	for i, b := range rpo {
+		for _, succ := range b.Succs() {
+			j, ok := t.order[succ]
+			if !ok {
+				continue
+			}
+			dup := false
+			for _, p := range preds[j] {
+				if p == int32(i) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				preds[j] = append(preds[j], int32(i))
+			}
+		}
+	}
+	const undefined = int32(-1)
+	for i := range t.idom {
+		t.idom[i] = undefined
+	}
+	t.idom[0] = 0
+	intersect := func(a, b int32) int32 {
+		for a != b {
+			for a > b {
+				a = t.idom[a]
+			}
+			for b > a {
+				b = t.idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 1; i < n; i++ {
+			newIdom := undefined
+			for _, p := range preds[i] {
+				if t.idom[p] == undefined {
+					continue
+				}
+				if newIdom == undefined {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != undefined && t.idom[i] != newIdom {
+				t.idom[i] = newIdom
+				changed = true
+			}
+		}
+	}
+	for i := 1; i < n; i++ {
+		t.kids[t.idom[i]] = append(t.kids[t.idom[i]], rpo[i])
+	}
+	return t
+}
+
+// Func returns the function the tree was built for.
+func (t *DomTree) Func() *ir.Function { return t.fn }
+
+// RPO returns the reachable blocks in reverse postorder.
+func (t *DomTree) RPO() []*ir.Block { return t.rpo }
+
+// IsReachable reports whether b is reachable from the entry.
+func (t *DomTree) IsReachable(b *ir.Block) bool {
+	_, ok := t.order[b]
+	return ok
+}
+
+// IDom returns the immediate dominator of b (nil for the entry block and
+// unreachable blocks).
+func (t *DomTree) IDom(b *ir.Block) *ir.Block {
+	i, ok := t.order[b]
+	if !ok || i == 0 {
+		return nil
+	}
+	return t.rpo[t.idom[i]]
+}
+
+// Children returns the dominator-tree children of b.
+func (t *DomTree) Children(b *ir.Block) []*ir.Block {
+	i, ok := t.order[b]
+	if !ok {
+		return nil
+	}
+	return t.kids[i]
+}
+
+// Dominates reports whether block a dominates block b. A block dominates
+// itself. Unreachable blocks dominate nothing and are dominated by
+// everything (vacuously); callers normally restrict to reachable blocks.
+func (t *DomTree) Dominates(a, b *ir.Block) bool {
+	if !t.IsReachable(b) {
+		return true
+	}
+	if !t.IsReachable(a) {
+		return false
+	}
+	ai := int32(t.order[a])
+	bi := int32(t.order[b])
+	// a dominates b iff walking b's idom chain (strictly decreasing rpo
+	// indices) reaches a.
+	for bi > ai {
+		bi = t.idom[bi]
+	}
+	return bi == ai
+}
+
+// StrictlyDominates reports whether a dominates b and a != b.
+func (t *DomTree) StrictlyDominates(a, b *ir.Block) bool {
+	return a != b && t.Dominates(a, b)
+}
+
+// InstrDominates reports whether the value def is available at
+// instruction use. Arguments and constants dominate everything. For phi
+// uses the caller should instead test dominance at the incoming block's
+// terminator (see DominatesUse).
+func (t *DomTree) InstrDominates(def, use *ir.Instruction) bool {
+	db, ub := def.Parent(), use.Parent()
+	if db == ub {
+		for _, in := range db.Instrs() {
+			if in == def {
+				return true
+			}
+			if in == use {
+				return false
+			}
+		}
+		return false
+	}
+	return t.StrictlyDominates(db, ub)
+}
+
+// DominatesUse reports whether the definition def is available at the
+// operand slot (user, opIndex), accounting for the phi rule: a phi's
+// operand is used at the end of the corresponding incoming block.
+func (t *DomTree) DominatesUse(def ir.Value, user *ir.Instruction, opIndex int) bool {
+	d, ok := def.(*ir.Instruction)
+	if !ok {
+		return true // arguments, constants, globals and blocks are always available
+	}
+	if user.Op() == ir.OpPhi {
+		inc := user.IncomingBlock(opIndex / 2)
+		return t.Dominates(d.Parent(), inc)
+	}
+	return t.InstrDominates(d, user)
+}
+
+// DomFrontier maps each reachable block to its dominance frontier.
+type DomFrontier map[*ir.Block][]*ir.Block
+
+// NewDomFrontier computes the dominance frontier of every reachable
+// block using the algorithm of Cooper, Harvey and Kennedy.
+func NewDomFrontier(t *DomTree) DomFrontier {
+	df := DomFrontier{}
+	for _, b := range t.rpo {
+		preds := b.Preds()
+		if len(preds) < 2 {
+			continue
+		}
+		bi := int32(t.order[b])
+		for _, p := range preds {
+			pi, ok := t.order[p]
+			if !ok {
+				continue
+			}
+			runner := int32(pi)
+			for runner != t.idom[bi] {
+				df[t.rpo[runner]] = appendUnique(df[t.rpo[runner]], b)
+				runner = t.idom[runner]
+			}
+		}
+	}
+	return df
+}
+
+func appendUnique(list []*ir.Block, b *ir.Block) []*ir.Block {
+	for _, x := range list {
+		if x == b {
+			return list
+		}
+	}
+	return append(list, b)
+}
+
+// Iterated returns the iterated dominance frontier of the given set of
+// blocks: the fixpoint of DF over defs ∪ result. This is where phi-nodes
+// must be placed for a variable defined in defs.
+func (df DomFrontier) Iterated(defs []*ir.Block) []*ir.Block {
+	inResult := map[*ir.Block]bool{}
+	var result []*ir.Block
+	work := append([]*ir.Block(nil), defs...)
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, fb := range df[b] {
+			if !inResult[fb] {
+				inResult[fb] = true
+				result = append(result, fb)
+				work = append(work, fb)
+			}
+		}
+	}
+	return result
+}

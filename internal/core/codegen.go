@@ -1,0 +1,480 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/ir"
+)
+
+// generator holds the state of one SalSSA merge. Indices 0 and 1 refer
+// to the first (fid=1) and second (fid=0) input function throughout.
+type generator struct {
+	m      *ir.Module
+	fns    [2]*ir.Function
+	merged *ir.Function
+	fid    *ir.Argument
+	opts   Options
+	stats  Stats
+
+	// vmap maps original values (arguments, instructions, blocks) of
+	// each input function to their merged counterparts ("value mapping",
+	// §4.1.2).
+	vmap [2]map[ir.Value]ir.Value
+	// itemBlock maps each original label/instruction to the merged block
+	// created for its alignment entry.
+	itemBlock [2]map[ir.Value]*ir.Block
+	// next chains merged blocks per input function: next[k][b] is the
+	// merged block holding the following item of the same original block.
+	next [2]map[*ir.Block]*ir.Block
+	// origin maps merged blocks back to the original block they came
+	// from, per function ("block mapping", §4.1.2).
+	origin [2]map[*ir.Block]*ir.Block
+
+	// mergedFrom records, for each merged instruction, the original pair.
+	mergedFrom map[*ir.Instruction][2]*ir.Instruction
+	// clonedFrom records, for each copied instruction, its side and original.
+	clonedFrom map[*ir.Instruction]taggedInstr
+	// phiOrigin records, for each copied phi, its side and original.
+	phiOrigin map[*ir.Instruction]taggedInstr
+	// padSlot maps original landingpad instructions with uses to the
+	// entry alloca through which their value flows (§4.2.2: landing
+	// blocks are created per invoke, so an original landingpad may have
+	// several merged definitions; the slot + register promotion places
+	// the phis). padSlotList keeps creation order for deterministic
+	// placement.
+	padSlot     map[*ir.Instruction]*ir.Instruction
+	padSlotList []*ir.Instruction
+	// phis lists copied phis in creation order for deterministic
+	// incoming-value assignment.
+	phis []*ir.Instruction
+	// order lists merged instructions needing operand assignment.
+	order []*ir.Instruction
+}
+
+type taggedInstr struct {
+	side int
+	orig *ir.Instruction
+}
+
+func newGenerator(m *ir.Module, f1, f2 *ir.Function, name string, plan *ParamPlan, opts Options) *generator {
+	g := &generator{
+		m:          m,
+		fns:        [2]*ir.Function{f1, f2},
+		opts:       opts,
+		mergedFrom: map[*ir.Instruction][2]*ir.Instruction{},
+		clonedFrom: map[*ir.Instruction]taggedInstr{},
+		phiOrigin:  map[*ir.Instruction]taggedInstr{},
+		padSlot:    map[*ir.Instruction]*ir.Instruction{},
+	}
+	merged, fid, amap1, amap2 := NewMergedShell(m, name, f1, f2, plan)
+	g.merged = merged
+	g.fid = fid
+	g.vmap[0] = amap1
+	g.vmap[1] = amap2
+	for k := 0; k < 2; k++ {
+		g.itemBlock[k] = map[ir.Value]*ir.Block{}
+		g.next[k] = map[*ir.Block]*ir.Block{}
+		g.origin[k] = map[*ir.Block]*ir.Block{}
+	}
+	return g
+}
+
+// run executes every phase of the SalSSA code generator.
+func (g *generator) run(res *align.Result) {
+	g.createPadSlots()
+	g.buildCFG(res)
+	g.assignValueOperands()
+	g.assignLabelOperands()
+	g.createLandingBlocks()
+	g.assignPhiIncomings()
+	g.repairSSA()
+}
+
+// createPadSlots allocates one slot per original landingpad whose value
+// is used, before any operand resolution needs it.
+func (g *generator) createPadSlots() {
+	for k := 0; k < 2; k++ {
+		g.fns[k].Instrs(func(in *ir.Instruction) bool {
+			if in.Op() == ir.OpLandingPad && ir.HasUses(in) {
+				slot := ir.NewAlloca("lpslot", in.Type())
+				g.padSlot[in] = slot
+				g.padSlotList = append(g.padSlotList, slot)
+				g.stats.PadSlots++
+			}
+			return true
+		})
+	}
+}
+
+// buildCFG is §4.1: one merged block per aligned label or instruction,
+// phis attached to labels, chain branches reproducing each original
+// block's internal order.
+func (g *generator) buildCFG(res *align.Result) {
+	entry := g.merged.NewBlockIn("entry")
+	for _, slot := range g.padSlotList {
+		entry.Append(slot)
+	}
+	for _, p := range res.Pairs {
+		switch {
+		case p.IsMatch() && p.A.IsLabel():
+			b := g.merged.NewBlockIn("m." + p.A.Label.Name())
+			g.placeLabel(0, p.A.Label, b)
+			g.placeLabel(1, p.B.Label, b)
+		case p.IsMatch():
+			b := g.merged.NewBlockIn("mi")
+			mi := ir.CloneInstruction(p.A.Instr)
+			mi.SetName(p.A.Instr.Name())
+			b.Append(mi)
+			g.mergedFrom[mi] = [2]*ir.Instruction{p.A.Instr, p.B.Instr}
+			g.order = append(g.order, mi)
+			g.placeInstr(0, p.A.Instr, mi, b)
+			g.placeInstr(1, p.B.Instr, mi, b)
+		case p.A != nil && p.A.IsLabel():
+			b := g.merged.NewBlockIn("f1." + p.A.Label.Name())
+			g.placeLabel(0, p.A.Label, b)
+		case p.B != nil && p.B.IsLabel():
+			b := g.merged.NewBlockIn("f2." + p.B.Label.Name())
+			g.placeLabel(1, p.B.Label, b)
+		case p.A != nil:
+			b := g.merged.NewBlockIn("i1")
+			c := ir.CloneInstruction(p.A.Instr)
+			b.Append(c)
+			g.clonedFrom[c] = taggedInstr{side: 0, orig: p.A.Instr}
+			g.order = append(g.order, c)
+			g.placeInstr(0, p.A.Instr, c, b)
+		default:
+			b := g.merged.NewBlockIn("i2")
+			c := ir.CloneInstruction(p.B.Instr)
+			b.Append(c)
+			g.clonedFrom[c] = taggedInstr{side: 1, orig: p.B.Instr}
+			g.order = append(g.order, c)
+			g.placeInstr(1, p.B.Instr, c, b)
+		}
+	}
+	// Chain the items of every original block in order.
+	for k := 0; k < 2; k++ {
+		for _, ob := range g.fns[k].Blocks {
+			prev := g.itemBlock[k][ob]
+			for _, in := range ob.Instrs() {
+				if in.Op() == ir.OpPhi || in.Op() == ir.OpLandingPad {
+					continue
+				}
+				cur := g.itemBlock[k][in]
+				g.next[k][prev] = cur
+				prev = cur
+			}
+		}
+	}
+	// Insert chain branches into every block lacking a terminator:
+	// unconditional when both functions continue the same way, otherwise
+	// conditional on the function identifier.
+	for _, b := range g.merged.Blocks {
+		if b == entry || b.Term() != nil {
+			continue
+		}
+		n1, n2 := g.next[0][b], g.next[1][b]
+		switch {
+		case n1 != nil && n2 != nil && n1 != n2:
+			b.Append(ir.NewCondBr(g.fid, n1, n2))
+		case n1 != nil:
+			b.Append(ir.NewBr(n1))
+		case n2 != nil:
+			b.Append(ir.NewBr(n2))
+		default:
+			panic(fmt.Sprintf("core: merged block %s has no continuation", b.Name()))
+		}
+	}
+	// Entry dispatch on the function identifier.
+	e1 := g.itemBlock[0][g.fns[0].Entry()]
+	e2 := g.itemBlock[1][g.fns[1].Entry()]
+	if e1 == e2 {
+		entry.Append(ir.NewBr(e1))
+	} else {
+		entry.Append(ir.NewCondBr(g.fid, e1, e2))
+	}
+}
+
+// placeLabel registers the merged block for an original label and copies
+// the label's phis into it (phis travel with their labels, §4.1.1).
+func (g *generator) placeLabel(k int, ob *ir.Block, b *ir.Block) {
+	g.itemBlock[k][ob] = b
+	g.vmap[k][ob] = b
+	g.origin[k][b] = ob
+	for _, phi := range ob.Phis() {
+		np := ir.NewPhi(phi.Name(), phi.Type())
+		b.Append(np)
+		g.vmap[k][phi] = np
+		g.phiOrigin[np] = taggedInstr{side: k, orig: phi}
+		g.phis = append(g.phis, np)
+	}
+}
+
+// placeInstr registers the merged block and value for an original
+// instruction.
+func (g *generator) placeInstr(k int, orig, merged *ir.Instruction, b *ir.Block) {
+	g.itemBlock[k][orig] = b
+	g.vmap[k][orig] = merged
+	g.origin[k][b] = orig.Parent()
+}
+
+// resolve maps an original operand of side k to its merged value,
+// inserting a slot load before user when the operand is a landingpad
+// value (whose merged definitions live in the per-invoke landing
+// blocks).
+func (g *generator) resolve(k int, v ir.Value, user *ir.Instruction) ir.Value {
+	switch v := v.(type) {
+	case *ir.Instruction:
+		if mv, ok := g.vmap[k][v]; ok {
+			return mv
+		}
+		if v.Op() == ir.OpLandingPad {
+			return g.padLoad(v, func(ld *ir.Instruction) {
+				user.Parent().InsertBefore(ld, user)
+			})
+		}
+		panic(fmt.Sprintf("core: unmapped %v operand from f%d", v.Op(), k+1))
+	case *ir.Argument:
+		mv, ok := g.vmap[k][v]
+		if !ok {
+			panic(fmt.Sprintf("core: unmapped argument %%%s", v.Name()))
+		}
+		return mv
+	case *ir.Block:
+		panic("core: label operands are resolved by assignLabelOperands")
+	default:
+		return v // constants, globals, functions
+	}
+}
+
+func (g *generator) padLoad(pad *ir.Instruction, insert func(*ir.Instruction)) ir.Value {
+	slot, ok := g.padSlot[pad]
+	if !ok {
+		panic("core: landingpad slot missing")
+	}
+	ld := ir.NewLoad("lp.reload", slot)
+	insert(ld)
+	return ld
+}
+
+// assignValueOperands is the non-label half of §4.2: cloned instructions
+// get their operands remapped through the value mapping; merged
+// instructions take the common value where the two sides agree and a
+// select on the function identifier where they differ, after trying
+// commutative operand reordering (Figure 9).
+func (g *generator) assignValueOperands() {
+	for _, in := range g.order {
+		if tagged, ok := g.clonedFrom[in]; ok {
+			for i := 0; i < in.NumOperands(); i++ {
+				if _, isLabel := in.Operand(i).(*ir.Block); isLabel {
+					continue
+				}
+				in.SetOperand(i, g.resolve(tagged.side, in.Operand(i), in))
+			}
+			continue
+		}
+		pair := g.mergedFrom[in]
+		i1, i2 := pair[0], pair[1]
+		n := in.NumOperands()
+		v1 := make([]ir.Value, n)
+		v2 := make([]ir.Value, n)
+		for i := 0; i < n; i++ {
+			if _, isLabel := i1.Operand(i).(*ir.Block); isLabel {
+				continue
+			}
+			v1[i] = g.resolve(0, i1.Operand(i), in)
+			v2[i] = g.resolve(1, i2.Operand(i), in)
+		}
+		if g.opts.ReorderOperands && canReorder(in) && v1[0] != nil && v1[1] != nil {
+			straight := btoi(ir.ValuesEqual(v1[0], v2[0])) + btoi(ir.ValuesEqual(v1[1], v2[1]))
+			swapped := btoi(ir.ValuesEqual(v1[0], v2[1])) + btoi(ir.ValuesEqual(v1[1], v2[0]))
+			if swapped > straight {
+				v2[0], v2[1] = v2[1], v2[0]
+				g.stats.OperandSwaps++
+			}
+		}
+		for i := 0; i < n; i++ {
+			if v1[i] == nil {
+				continue // label operand
+			}
+			if ir.ValuesEqual(v1[i], v2[i]) {
+				in.SetOperand(i, v1[i])
+				continue
+			}
+			sel := ir.NewSelect("sel", g.fid, v1[i], v2[i])
+			in.Parent().InsertBefore(sel, in)
+			in.SetOperand(i, sel)
+			g.stats.Selects++
+		}
+	}
+}
+
+// canReorder reports whether in's first two operands may be swapped:
+// commutative binary operations and equality comparisons.
+func canReorder(in *ir.Instruction) bool {
+	if in.NumOperands() != 2 {
+		return false
+	}
+	if in.Op().IsCommutative() {
+		return true
+	}
+	return (in.Op() == ir.OpICmp || in.Op() == ir.OpFCmp) && in.Pred.IsEquality()
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// assignLabelOperands is §4.2.1: label operands of cloned terminators
+// are remapped directly; merged terminators whose mapped labels differ
+// get a label-selection block (Figure 10), except conditional branches
+// with swapped labels, which use the xor rewrite (Figure 11).
+func (g *generator) assignLabelOperands() {
+	for _, in := range g.order {
+		if !in.IsTerminator() {
+			continue
+		}
+		if tagged, ok := g.clonedFrom[in]; ok {
+			for _, i := range in.LabelOperandIndices() {
+				in.SetOperand(i, g.mapLabel(tagged.side, in.Operand(i).(*ir.Block)))
+			}
+			continue
+		}
+		pair := g.mergedFrom[in]
+		idxs := in.LabelOperandIndices()
+		l1 := make(map[int]*ir.Block, len(idxs))
+		l2 := make(map[int]*ir.Block, len(idxs))
+		for _, i := range idxs {
+			l1[i] = g.mapLabel(0, pair[0].Operand(i).(*ir.Block))
+			l2[i] = g.mapLabel(1, pair[1].Operand(i).(*ir.Block))
+		}
+		// Figure 11: br c, A, B merged with br c, B, A becomes
+		// br (xor c, fid), B, A — correct for both functions and cheaper
+		// than two label selections.
+		if g.opts.XorBranch && in.IsCondBr() &&
+			l1[1] == l2[2] && l1[2] == l2[1] && l1[1] != l1[2] {
+			x := ir.NewBinary(ir.OpXor, "xsel", in.Operand(0), g.fid)
+			in.Parent().InsertBefore(x, in)
+			in.SetOperand(0, x)
+			in.SetOperand(1, l2[1])
+			in.SetOperand(2, l2[2])
+			g.stats.XorRewrites++
+			continue
+		}
+		for _, i := range idxs {
+			if l1[i] == l2[i] {
+				in.SetOperand(i, l1[i])
+				continue
+			}
+			sel := g.merged.NewBlockIn("lsel")
+			sel.Append(ir.NewCondBr(g.fid, l1[i], l2[i]))
+			g.inheritOrigin(sel, in.Parent())
+			in.SetOperand(i, sel)
+			g.stats.LabelSelections++
+		}
+	}
+}
+
+func (g *generator) mapLabel(k int, ob *ir.Block) *ir.Block {
+	b, ok := g.vmap[k][ob]
+	if !ok {
+		panic(fmt.Sprintf("core: unmapped label %%%s", ob.Name()))
+	}
+	return b.(*ir.Block)
+}
+
+// inheritOrigin copies the block mapping of src onto b (used for
+// label-selection and landing blocks, which sit on an edge out of src
+// and represent the same original blocks for phi-incoming purposes).
+func (g *generator) inheritOrigin(b, src *ir.Block) {
+	for k := 0; k < 2; k++ {
+		if ob := g.origin[k][src]; ob != nil {
+			g.origin[k][b] = ob
+		}
+	}
+}
+
+// createLandingBlocks is §4.2.2: every invoke in the merged function
+// gets a fresh landing block holding a new landingpad (stored to the
+// original landingpad's slot) that branches to the remapped unwind
+// destination.
+func (g *generator) createLandingBlocks() {
+	for _, in := range g.order {
+		if in.Op() != ir.OpInvoke {
+			continue
+		}
+		unwind := in.UnwindDest()
+		pad := g.merged.NewBlockIn("lpad")
+		g.inheritOrigin(pad, in.Parent())
+		cleanup := false
+		var origPads []*ir.Instruction
+		if tagged, ok := g.clonedFrom[in]; ok {
+			origPads = append(origPads, origLandingPad(tagged.orig))
+		} else {
+			pair := g.mergedFrom[in]
+			origPads = append(origPads, origLandingPad(pair[0]), origLandingPad(pair[1]))
+		}
+		for _, op := range origPads {
+			cleanup = cleanup || op.Cleanup
+		}
+		lp := ir.NewLandingPad("lp", cleanup)
+		pad.Append(lp)
+		for _, op := range origPads {
+			if slot, ok := g.padSlot[op]; ok {
+				pad.Append(ir.NewStore(lp, slot))
+			}
+		}
+		pad.Append(ir.NewBr(unwind))
+		in.SetOperand(in.NumOperands()-1, pad)
+	}
+}
+
+// origLandingPad returns the landingpad of an original invoke's unwind
+// destination.
+func origLandingPad(inv *ir.Instruction) *ir.Instruction {
+	lp := inv.UnwindDest().FirstNonPhi()
+	if lp == nil || lp.Op() != ir.OpLandingPad {
+		panic("core: invoke unwind destination lacks a landingpad")
+	}
+	return lp
+}
+
+// assignPhiIncomings is §4.2.3: each copied phi receives, for every
+// predecessor of its merged block, the incoming value of the original
+// predecessor found through the block mapping, or undef when the
+// predecessor belongs only to the other function.
+func (g *generator) assignPhiIncomings() {
+	for _, np := range g.phis {
+		tag := g.phiOrigin[np]
+		orig := tag.orig
+		for _, q := range np.Parent().Preds() {
+			var mv ir.Value
+			if c := g.origin[tag.side][q]; c != nil {
+				if v, ok := orig.IncomingFor(c); ok {
+					mv = g.resolveAtBlockEnd(tag.side, v, q)
+				}
+			}
+			if mv == nil {
+				mv = ir.NewUndef(orig.Type())
+			}
+			np.AddIncoming(mv, q)
+		}
+	}
+}
+
+// resolveAtBlockEnd resolves v like resolve, but inserts any needed slot
+// load at the end of block q (phi uses happen at the end of the incoming
+// block).
+func (g *generator) resolveAtBlockEnd(k int, v ir.Value, q *ir.Block) ir.Value {
+	if in, ok := v.(*ir.Instruction); ok {
+		if _, mapped := g.vmap[k][in]; !mapped && in.Op() == ir.OpLandingPad {
+			return g.padLoad(in, func(ld *ir.Instruction) {
+				q.InsertBefore(ld, q.Term())
+			})
+		}
+	}
+	return g.resolve(k, v, nil)
+}

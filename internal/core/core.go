@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/ir"
+)
+
+// Options configures a SalSSA merge.
+type Options struct {
+	// PhiCoalescing enables the paper's §4.4 optimisation: disjoint
+	// definitions repaired by SSA reconstruction share a slot, removing
+	// superfluous phi-nodes and select instructions. Disable to obtain
+	// the SalSSA-NoPC variant of Figure 20.
+	PhiCoalescing bool
+	// XorBranch enables the Figure 11 rewrite of conditional branches
+	// with swapped label operands (two label selections traded for one
+	// xor).
+	XorBranch bool
+	// ReorderOperands enables commutative operand reordering (Figure 9).
+	ReorderOperands bool
+	// Align configures the sequence alignment.
+	Align align.Options
+}
+
+// DefaultOptions enables every SalSSA feature.
+func DefaultOptions() Options {
+	return Options{
+		PhiCoalescing:   true,
+		XorBranch:       true,
+		ReorderOperands: true,
+		Align:           align.DefaultOptions(),
+	}
+}
+
+// Stats reports what the code generator did; the evaluation harness and
+// the ablation benchmarks consume these.
+type Stats struct {
+	// Alignment outcome.
+	Matches      int
+	InstrMatches int
+	MatrixBytes  int64
+	// Operand assignment.
+	Selects         int
+	LabelSelections int
+	XorRewrites     int
+	OperandSwaps    int
+	// SSA repair.
+	RepairedDefs   int
+	CoalescedPairs int
+	PadSlots       int
+}
+
+// Merge builds the SalSSA-merged function of f1 and f2 (in module m)
+// under the given name. On success the merged function has been added to
+// m and verifies; f1 and f2 are left untouched (the caller decides
+// whether to commit by building thunks, or to roll back by removing the
+// merged function — SalSSA needs no other bookkeeping, unlike FMSA whose
+// demotion residue affects every function it touches).
+func Merge(m *ir.Module, f1, f2 *ir.Function, name string, opts Options) (*ir.Function, *Stats, error) {
+	if f1 == f2 {
+		return nil, nil, fmt.Errorf("core: cannot merge a function with itself")
+	}
+	if f1.IsDecl() || f2.IsDecl() {
+		return nil, nil, fmt.Errorf("core: cannot merge declarations")
+	}
+	plan, err := PlanParams(f1, f2)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := align.AlignFunctions(f1, f2, opts.Align)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := newGenerator(m, f1, f2, name, plan, opts)
+	g.stats.Matches = res.Matches
+	g.stats.InstrMatches = res.InstrMatches
+	g.stats.MatrixBytes = res.MatrixBytes
+	g.run(res)
+	return g.merged, &g.stats, nil
+}
+
+// MergeAligned is Merge with a precomputed alignment (used by the
+// benchmark harness to time alignment and code generation separately).
+func MergeAligned(m *ir.Module, f1, f2 *ir.Function, name string, res *align.Result, opts Options) (*ir.Function, *Stats, error) {
+	if f1 == f2 {
+		return nil, nil, fmt.Errorf("core: cannot merge a function with itself")
+	}
+	plan, err := PlanParams(f1, f2)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := newGenerator(m, f1, f2, name, plan, opts)
+	g.stats.Matches = res.Matches
+	g.stats.InstrMatches = res.InstrMatches
+	g.stats.MatrixBytes = res.MatrixBytes
+	g.run(res)
+	return g.merged, &g.stats, nil
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/transform"
+)
+
+func mergeFig2(t *testing.T, opts Options) (*ir.Module, *ir.Function, *Stats) {
+	t.Helper()
+	m, err := irtext.Parse(irtext.Fig2Module)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	f1, f2 := m.FuncByName("F1"), m.FuncByName("F2")
+	merged, stats, err := Merge(m, f1, f2, "F1F2", opts)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if err := ir.VerifyFunction(merged); err != nil {
+		t.Fatalf("merged function does not verify: %v\n%s", err, merged)
+	}
+	return m, merged, stats
+}
+
+func TestMergeFig2Verifies(t *testing.T) {
+	_, merged, stats := mergeFig2(t, DefaultOptions())
+	if stats.InstrMatches < 4 {
+		t.Errorf("InstrMatches = %d, want >= 4", stats.InstrMatches)
+	}
+	// fid + the shared i32 parameter.
+	if got := len(merged.Params()); got != 2 {
+		t.Errorf("merged has %d params, want 2", got)
+	}
+	if !ir.TypesEqual(merged.Param(0).Type(), ir.I1) {
+		t.Errorf("first param must be the i1 function identifier")
+	}
+}
+
+func TestMergeFig2ProfitableAfterSimplify(t *testing.T) {
+	_, merged, _ := mergeFig2(t, DefaultOptions())
+	transform.Simplify(merged)
+	if err := ir.VerifyFunction(merged); err != nil {
+		t.Fatalf("simplified merged function does not verify: %v\n%s", err, merged)
+	}
+	// F1 has 10 instructions, F2 has 9. The paper's expert version
+	// (Figure 3) reaches ~15; SalSSA's own Figure 7 output carries label
+	// selections and phi plumbing that the expert avoids, so the merge of
+	// this adversarially small pair lands above the input total — the
+	// cost model rejects it. What we require here is a sane bound (FMSA
+	// blew the same example up to 50 instructions).
+	if got := merged.NumInstrs(); got > 26 {
+		t.Errorf("merged function has %d instructions, want <= 26 (FMSA produced 50 here)\n%s",
+			got, merged)
+	}
+	// The calls to start, body and end must appear exactly once (merged);
+	// the call to other appears once (exclusive to F1).
+	calls := map[string]int{}
+	merged.Instrs(func(in *ir.Instruction) bool {
+		if in.Op() == ir.OpCall {
+			calls[in.Callee().(*ir.Function).Name()]++
+		}
+		return true
+	})
+	for _, callee := range []string{"start", "body", "end", "other"} {
+		if calls[callee] != 1 {
+			t.Errorf("call to @%s appears %d times, want 1", callee, calls[callee])
+		}
+	}
+}
+
+func TestMergeIdenticalFunctions(t *testing.T) {
+	m := irtext.MustParse(irtext.Fig2Module)
+	f1 := m.FuncByName("F1")
+	clone, _ := ir.CloneFunction(f1, "F1b")
+	m.AddFunc(clone)
+	merged, stats, err := Merge(m, f1, clone, "both", DefaultOptions())
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if err := ir.VerifyFunction(merged); err != nil {
+		t.Fatalf("verify: %v\n%s", err, merged)
+	}
+	transform.Simplify(merged)
+	if err := ir.VerifyFunction(merged); err != nil {
+		t.Fatalf("verify simplified: %v\n%s", err, merged)
+	}
+	// Any selects created for the twin copied phis must fold away once
+	// the duplicate phis are merged ("identical phi-nodes are merged
+	// during the simplification process").
+	_ = stats
+	merged.Instrs(func(in *ir.Instruction) bool {
+		if in.Op() == ir.OpSelect {
+			t.Errorf("select survived in merge of identical functions:\n%s", merged)
+			return false
+		}
+		return true
+	})
+	// Identical inputs must merge to (roughly) one copy.
+	if got, want := merged.NumInstrs(), f1.NumInstrs()+2; got > want {
+		t.Errorf("merged identical functions have %d instructions, want <= %d\n%s",
+			got, want, merged)
+	}
+}
+
+func TestMergeRejectsMismatchedReturns(t *testing.T) {
+	m := irtext.MustParse(`
+define i32 @a() {
+e:
+  ret i32 1
+}
+define i64 @b() {
+e:
+  ret i64 1
+}`)
+	_, _, err := Merge(m, m.FuncByName("a"), m.FuncByName("b"), "ab", DefaultOptions())
+	if err == nil {
+		t.Fatal("expected error for mismatched return types")
+	}
+}
+
+func TestMergeSelfRejected(t *testing.T) {
+	m := irtext.MustParse(irtext.Fig2Module)
+	f := m.FuncByName("F1")
+	if _, _, err := Merge(m, f, f, "x", DefaultOptions()); err == nil {
+		t.Fatal("expected error for self-merge")
+	}
+}
+
+func TestPlanParams(t *testing.T) {
+	m := irtext.MustParse(`
+define i32 @a(i32 %x, i64 %y, i32 %z) {
+e:
+  ret i32 %x
+}
+define i32 @b(i64 %p, i32 %q) {
+e:
+  ret i32 %q
+}`)
+	plan, err := PlanParams(m.FuncByName("a"), m.FuncByName("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: x->0 (i32), y->1 (i64), z->2 (i32); b: p->1 (i64), q->0 (i32).
+	if len(plan.Params) != 3 {
+		t.Fatalf("unified %d params, want 3 (%v)", len(plan.Params), plan.Params)
+	}
+	if plan.Map1[0] != 0 || plan.Map1[1] != 1 || plan.Map1[2] != 2 {
+		t.Errorf("Map1 = %v", plan.Map1)
+	}
+	if plan.Map2[0] != 1 || plan.Map2[1] != 0 {
+		t.Errorf("Map2 = %v", plan.Map2)
+	}
+}
+
+func TestXorBranchRewrite(t *testing.T) {
+	// Two functions identical except the conditional branch targets are
+	// swapped; with XorBranch the merge needs no label selection.
+	src := `
+define i32 @a(i32 %x) {
+e:
+  %c = icmp slt i32 %x, 10
+  br i1 %c, label %t, label %f
+t:
+  %r1 = add i32 %x, 1
+  ret i32 %r1
+f:
+  %r2 = mul i32 %x, 2
+  ret i32 %r2
+}
+define i32 @b(i32 %x) {
+e:
+  %c = icmp slt i32 %x, 10
+  br i1 %c, label %f, label %t
+t:
+  %r1 = add i32 %x, 1
+  ret i32 %r1
+f:
+  %r2 = mul i32 %x, 2
+  ret i32 %r2
+}`
+	m := irtext.MustParse(src)
+	merged, stats, err := Merge(m, m.FuncByName("a"), m.FuncByName("b"), "ab", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyFunction(merged); err != nil {
+		t.Fatalf("verify: %v\n%s", err, merged)
+	}
+	if stats.XorRewrites != 1 {
+		t.Errorf("XorRewrites = %d, want 1", stats.XorRewrites)
+	}
+	if stats.LabelSelections != 0 {
+		t.Errorf("LabelSelections = %d, want 0 (xor should cover the swap)", stats.LabelSelections)
+	}
+
+	// Without the optimisation, two label selections appear instead.
+	m2 := irtext.MustParse(src)
+	opts := DefaultOptions()
+	opts.XorBranch = false
+	_, stats2, err := Merge(m2, m2.FuncByName("a"), m2.FuncByName("b"), "ab", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.XorRewrites != 0 {
+		t.Errorf("XorRewrites = %d with the optimisation disabled", stats2.XorRewrites)
+	}
+	if stats2.LabelSelections != 2 {
+		t.Errorf("LabelSelections = %d, want 2", stats2.LabelSelections)
+	}
+}
+
+func TestCommutativeReordering(t *testing.T) {
+	src := `
+declare i32 @g(i32)
+define i32 @a(i32 %m, i32 %n) {
+e:
+  %y = add i32 %m, %n
+  ret i32 %y
+}
+define i32 @b(i32 %m, i32 %n) {
+e:
+  %y = add i32 %n, %m
+  ret i32 %y
+}`
+	m := irtext.MustParse(src)
+	merged, stats, err := Merge(m, m.FuncByName("a"), m.FuncByName("b"), "ab", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.OperandSwaps != 1 {
+		t.Errorf("OperandSwaps = %d, want 1", stats.OperandSwaps)
+	}
+	if stats.Selects != 0 {
+		t.Errorf("Selects = %d, want 0 after reordering\n%s", stats.Selects, merged)
+	}
+}
+
+func TestMergeWithInvokes(t *testing.T) {
+	src := `
+declare i32 @may_throw(i32)
+declare void @log(i32)
+define i32 @a(i32 %n) {
+e:
+  %v = invoke i32 @may_throw(i32 %n) to label %ok unwind label %pad
+ok:
+  %r = add i32 %v, 1
+  ret i32 %r
+pad:
+  %lp = landingpad cleanup
+  resume {i8*, i32} %lp
+}
+define i32 @b(i32 %n) {
+e:
+  %v = invoke i32 @may_throw(i32 %n) to label %ok unwind label %pad
+ok:
+  %r = add i32 %v, 2
+  ret i32 %r
+pad:
+  %lp = landingpad cleanup
+  resume {i8*, i32} %lp
+}`
+	m := irtext.MustParse(src)
+	merged, stats, err := Merge(m, m.FuncByName("a"), m.FuncByName("b"), "ab", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyFunction(merged); err != nil {
+		t.Fatalf("verify: %v\n%s", err, merged)
+	}
+	transform.Simplify(merged)
+	if err := ir.VerifyFunction(merged); err != nil {
+		t.Fatalf("verify simplified: %v\n%s", err, merged)
+	}
+	if stats.PadSlots == 0 {
+		t.Error("expected landingpad slots for the used landingpad values")
+	}
+	// The merged function must retain a landingpad reachable from the
+	// invoke.
+	found := false
+	merged.Instrs(func(in *ir.Instruction) bool {
+		if in.Op() == ir.OpLandingPad {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("no landingpad in merged function")
+	}
+}
+
+func TestPhiCoalescingReducesInstructions(t *testing.T) {
+	// Mirrors Figure 14: an instruction merged with different arguments
+	// whose definitions are disjoint.
+	src := `
+declare i32 @mk1()
+declare i32 @mk2()
+declare void @use(i32)
+define void @a(i1 %c) {
+e:
+  br i1 %c, label %d1, label %d2
+d1:
+  %v = call i32 @mk1()
+  br label %join
+d2:
+  br label %join
+join:
+  %p = phi i32 [ %v, %d1 ], [ 0, %d2 ]
+  call void @use(i32 %p)
+  ret void
+}
+define void @b(i1 %c) {
+e:
+  br i1 %c, label %d1, label %d2
+d1:
+  %x = call i32 @mk2()
+  br label %join
+d2:
+  br label %join
+join:
+  %p = phi i32 [ %x, %d1 ], [ 0, %d2 ]
+  call void @use(i32 %p)
+  ret void
+}`
+	sizeWith := func(coalesce bool) (int, *Stats) {
+		m := irtext.MustParse(src)
+		opts := DefaultOptions()
+		opts.PhiCoalescing = coalesce
+		merged, stats, err := Merge(m, m.FuncByName("a"), m.FuncByName("b"), "ab", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ir.VerifyFunction(merged); err != nil {
+			t.Fatalf("verify (coalesce=%v): %v\n%s", coalesce, err, merged)
+		}
+		transform.Simplify(merged)
+		if err := ir.VerifyFunction(merged); err != nil {
+			t.Fatalf("verify simplified (coalesce=%v): %v\n%s", coalesce, err, merged)
+		}
+		return merged.NumInstrs(), stats
+	}
+	withPC, statsPC := sizeWith(true)
+	withoutPC, _ := sizeWith(false)
+	if statsPC.CoalescedPairs == 0 {
+		t.Error("no coalesced pairs on the Figure 14 pattern")
+	}
+	if withPC > withoutPC {
+		t.Errorf("coalescing grew the function: %d vs %d without", withPC, withoutPC)
+	}
+}

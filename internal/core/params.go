@@ -1,0 +1,114 @@
+// Package core implements SalSSA, the paper's contribution: merging two
+// functions through sequence alignment with full SSA support. The code
+// generator works top-down from the input CFGs (one merged block per
+// aligned label/instruction, chained per original block), assigns
+// operands with fid-selects, label-selection blocks and the xor-branch
+// rewrite, creates landing blocks for invokes, repairs the dominance
+// property with the standard SSA construction algorithm, and applies
+// phi-node coalescing to minimise the phis and selects introduced.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// ParamPlan describes how the parameter lists of two functions are
+// unified. Parameters of equal type are shared pairwise (greedy, in
+// order); leftovers get their own slots. The merged function takes the
+// i1 function identifier first, then the unified parameters.
+type ParamPlan struct {
+	// Ret is the shared return type.
+	Ret ir.Type
+	// Params are the unified parameter types, excluding fid.
+	Params []ir.Type
+	// Map1[i] is the unified slot of f1's i-th parameter; Map2 likewise.
+	Map1, Map2 []int
+}
+
+// PlanParams computes the parameter plan, or an error when the functions
+// cannot be merged (mismatched return types, variadic signatures).
+func PlanParams(f1, f2 *ir.Function) (*ParamPlan, error) {
+	s1, s2 := f1.Sig(), f2.Sig()
+	if !ir.TypesEqual(s1.Ret, s2.Ret) {
+		return nil, fmt.Errorf("core: return types differ (%v vs %v)", s1.Ret, s2.Ret)
+	}
+	if s1.Variadic || s2.Variadic {
+		return nil, fmt.Errorf("core: variadic functions are not merged")
+	}
+	p := &ParamPlan{
+		Ret:  s1.Ret,
+		Map1: make([]int, len(s1.Params)),
+		Map2: make([]int, len(s2.Params)),
+	}
+	used := make([]bool, len(s2.Params))
+	for i, t1 := range s1.Params {
+		p.Map1[i] = len(p.Params)
+		p.Params = append(p.Params, t1)
+		for j, t2 := range s2.Params {
+			if !used[j] && ir.TypesEqual(t1, t2) {
+				used[j] = true
+				p.Map2[j] = p.Map1[i]
+				break
+			}
+		}
+	}
+	for j, t2 := range s2.Params {
+		if !used[j] {
+			used[j] = true // self-claim so the loop above cannot double-assign
+			p.Map2[j] = len(p.Params)
+			p.Params = append(p.Params, t2)
+		}
+	}
+	// Mark unpaired f2 params that were claimed pairwise: nothing to do,
+	// Map2 is already complete.
+	return p, nil
+}
+
+// NewMergedShell creates the (empty) merged function for the plan and
+// registers it in m. The returned argument maps send each original
+// parameter to its merged counterpart.
+func NewMergedShell(m *ir.Module, name string, f1, f2 *ir.Function, plan *ParamPlan) (merged *ir.Function, fid *ir.Argument, amap1, amap2 map[ir.Value]ir.Value) {
+	sig := ir.FuncOf(plan.Ret, append([]ir.Type{ir.I1}, plan.Params...)...)
+	names := make([]string, len(sig.Params))
+	names[0] = "fid"
+	for i, p := range f1.Params() {
+		names[plan.Map1[i]+1] = p.Name()
+	}
+	merged = ir.NewFunction(name, sig, names...)
+	m.AddFunc(merged)
+	fid = merged.Param(0)
+	amap1 = map[ir.Value]ir.Value{}
+	amap2 = map[ir.Value]ir.Value{}
+	for i, p := range f1.Params() {
+		amap1[p] = merged.Param(plan.Map1[i] + 1)
+	}
+	for j, p := range f2.Params() {
+		amap2[p] = merged.Param(plan.Map2[j] + 1)
+	}
+	return merged, fid, amap1, amap2
+}
+
+// BuildThunk replaces f's body with a forwarding call to merged:
+// f(args...) becomes merged(fid, unified args...), passing undef for
+// parameters exclusive to the other input function.
+func BuildThunk(f, merged *ir.Function, fid bool, slotOf []int, plan *ParamPlan) {
+	f.Clear()
+	entry := f.NewBlockIn("entry")
+	args := make([]ir.Value, 1+len(plan.Params))
+	args[0] = ir.Bool(fid)
+	for i, t := range plan.Params {
+		args[i+1] = ir.NewUndef(t)
+	}
+	for i, p := range f.Params() {
+		args[slotOf[i]+1] = p
+	}
+	call := ir.NewCall("", merged, args...)
+	entry.Append(call)
+	if ir.IsVoid(plan.Ret) {
+		entry.Append(ir.NewRet(nil))
+	} else {
+		entry.Append(ir.NewRet(call))
+	}
+}

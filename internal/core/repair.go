@@ -1,0 +1,233 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/transform"
+)
+
+// repairSSA restores the dominance property of the merged function
+// (§4.3) and applies phi-node coalescing (§4.4).
+//
+// Interweaving the two functions' control flow leaves some definitions
+// no longer dominating their uses (Figure 13a). Following the paper,
+// each offending definition is demoted to a fresh stack slot (store
+// after the definition, load at each offending use) and the standard SSA
+// construction algorithm — our Mem2Reg register promotion — re-promotes
+// the slots, placing phi-nodes exactly where needed. Loads on paths with
+// no reaching store become undef, playing the role of the paper's
+// pseudo-definition at the entry.
+//
+// Phi-node coalescing assigns one shared slot to a pair of *disjoint*
+// definitions (one exclusive to each input function, same type) instead
+// of two. Both arms of a fid-select over the pair then load the same
+// slot, so the select folds away along with one of the two phis —
+// exactly Figure 14b. Pairs are chosen to maximise |UB(d1) ∩ UB(d2)|
+// where UB(d) is the set of blocks containing users of d.
+func (g *generator) repairSSA() {
+	f := g.merged
+	dt := analysis.NewDomTree(f)
+
+	type offense struct {
+		user *ir.Instruction
+		idx  int
+	}
+	offenders := map[*ir.Instruction][]offense{}
+	var defOrder []*ir.Instruction
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs() {
+			for i := 0; i < in.NumOperands(); i++ {
+				def, ok := in.Operand(i).(*ir.Instruction)
+				if !ok {
+					continue
+				}
+				if dt.DominatesUse(def, in, i) {
+					continue
+				}
+				if _, seen := offenders[def]; !seen {
+					defOrder = append(defOrder, def)
+				}
+				offenders[def] = append(offenders[def], offense{user: in, idx: i})
+			}
+		}
+	}
+	if len(defOrder) == 0 {
+		g.promoteAndFold()
+		return
+	}
+	g.stats.RepairedDefs = len(defOrder)
+
+	// Group definitions into coalescing classes.
+	classes := g.coalesce(defOrder)
+
+	entry := f.Entry()
+	for _, class := range classes {
+		slot := ir.NewAlloca("ssa.slot", class[0].Type())
+		entry.InsertAtFront(slot)
+		// One store after each definition in the class.
+		for _, def := range class {
+			st := ir.NewStore(def, slot)
+			if def.Op() == ir.OpInvoke {
+				nb := transform.SplitInvokeNormalEdge(def)
+				nb.InsertAtFront(st)
+			} else if def.IsTerminator() {
+				panic("core: repairing a terminator value")
+			} else {
+				def.Parent().InsertAfter(st, def)
+			}
+		}
+		// One load per offending use site, cached so that a fid-select
+		// whose two arms belong to the same class receives the same load
+		// twice and folds away.
+		loadAt := map[*ir.Block]*ir.Instruction{}        // phi incoming block -> load
+		loadFor := map[*ir.Instruction]*ir.Instruction{} // user -> load
+		for _, def := range class {
+			for _, off := range offenders[def] {
+				var ld *ir.Instruction
+				if off.user.Op() == ir.OpPhi {
+					q := off.user.IncomingBlock(off.idx / 2)
+					ld = loadAt[q]
+					if ld == nil {
+						ld = ir.NewLoad("ssa.reload", slot)
+						q.InsertBefore(ld, q.Term())
+						loadAt[q] = ld
+					}
+				} else {
+					ld = loadFor[off.user]
+					if ld == nil {
+						ld = ir.NewLoad("ssa.reload", slot)
+						off.user.Parent().InsertBefore(ld, off.user)
+						loadFor[off.user] = ld
+					}
+				}
+				off.user.SetOperand(off.idx, ld)
+			}
+		}
+	}
+	g.promoteAndFold()
+}
+
+// promoteAndFold re-promotes the repair and landingpad slots (standard
+// SSA construction) and folds the selects/phis that coalescing made
+// redundant.
+func (g *generator) promoteAndFold() {
+	transform.Mem2Reg(g.merged)
+	// None of the passes below alter the CFG, so one dominator tree
+	// serves the whole fixpoint loop.
+	dt := analysis.NewDomTree(g.merged)
+	for {
+		n := transform.RemoveDuplicatePhis(g.merged)
+		n += transform.FoldInstructions(g.merged)
+		n += transform.RemoveTrivialPhisWithDom(g.merged, dt)
+		if n == 0 {
+			return
+		}
+	}
+}
+
+// coalesce partitions the offending definitions into slot classes. With
+// PhiCoalescing disabled every definition gets its own class. Otherwise
+// disjoint definitions (one exclusive to each function, equal types) are
+// paired greedily by descending user-block overlap, then leftovers of
+// equal type are paired arbitrarily (Figure 15 shows zero-overlap pairs
+// are still worth coalescing).
+func (g *generator) coalesce(defs []*ir.Instruction) [][]*ir.Instruction {
+	if !g.opts.PhiCoalescing {
+		out := make([][]*ir.Instruction, len(defs))
+		for i, d := range defs {
+			out[i] = []*ir.Instruction{d}
+		}
+		return out
+	}
+	// A definition is exclusive to one input function only if its *block*
+	// executes solely under that function's identifier. Block exclusivity
+	// is what guarantees disjointness: a phi copied from f1 into a
+	// matched-label block still executes (with undef inputs) when fid
+	// selects f2, so sharing its slot with an f2 definition would clobber
+	// the live value.
+	side := func(d *ir.Instruction) int {
+		b := d.Parent()
+		o0 := g.origin[0][b] != nil
+		o1 := g.origin[1][b] != nil
+		switch {
+		case o0 && !o1:
+			return 0
+		case o1 && !o0:
+			return 1
+		default:
+			return -1 // shared block (or generator-introduced): executes for both
+		}
+	}
+	var s0, s1 []*ir.Instruction
+	var shared []*ir.Instruction
+	for _, d := range defs {
+		switch side(d) {
+		case 0:
+			s0 = append(s0, d)
+		case 1:
+			s1 = append(s1, d)
+		default:
+			shared = append(shared, d)
+		}
+	}
+	userBlocks := func(d *ir.Instruction) map[*ir.Block]bool {
+		ub := map[*ir.Block]bool{}
+		for _, u := range ir.UsesOf(d) {
+			ub[u.User.Parent()] = true
+		}
+		return ub
+	}
+	ub0 := make([]map[*ir.Block]bool, len(s0))
+	for i, d := range s0 {
+		ub0[i] = userBlocks(d)
+	}
+	type cand struct {
+		i, j    int
+		overlap int
+	}
+	var cands []cand
+	for i, d0 := range s0 {
+		for j, d1 := range s1 {
+			if !ir.TypesEqual(d0.Type(), d1.Type()) {
+				continue
+			}
+			ov := 0
+			for _, u := range ir.UsesOf(d1) {
+				if ub0[i][u.User.Parent()] {
+					ov++
+				}
+			}
+			cands = append(cands, cand{i: i, j: j, overlap: ov})
+		}
+	}
+	// Greedy maximum-overlap matching (stable order for determinism).
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].overlap > cands[b].overlap })
+	used0 := make([]bool, len(s0))
+	used1 := make([]bool, len(s1))
+	var classes [][]*ir.Instruction
+	for _, c := range cands {
+		if used0[c.i] || used1[c.j] {
+			continue
+		}
+		used0[c.i] = true
+		used1[c.j] = true
+		classes = append(classes, []*ir.Instruction{s0[c.i], s1[c.j]})
+		g.stats.CoalescedPairs++
+	}
+	for i, d := range s0 {
+		if !used0[i] {
+			classes = append(classes, []*ir.Instruction{d})
+		}
+	}
+	for j, d := range s1 {
+		if !used1[j] {
+			classes = append(classes, []*ir.Instruction{d})
+		}
+	}
+	for _, d := range shared {
+		classes = append(classes, []*ir.Instruction{d})
+	}
+	return classes
+}

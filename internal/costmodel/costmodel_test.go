@@ -1,0 +1,103 @@
+package costmodel
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irtext"
+)
+
+func TestThumbSmallerThanX86(t *testing.T) {
+	m := irtext.MustParse(irtext.Fig2Module)
+	for _, f := range m.Defined() {
+		x := FuncBytes(f, X86_64)
+		th := FuncBytes(f, Thumb)
+		if th >= x {
+			t.Errorf("@%s: thumb %d >= x86 %d", f.Name(), th, x)
+		}
+		if th <= 0 || x <= 0 {
+			t.Errorf("@%s: non-positive size", f.Name())
+		}
+	}
+}
+
+func TestModuleBytesIsSumOfFunctions(t *testing.T) {
+	m := irtext.MustParse(irtext.Fig2Module)
+	sum := 0
+	for _, f := range m.Funcs {
+		sum += FuncBytes(f, X86_64)
+	}
+	if got := ModuleBytes(m, X86_64); got != sum {
+		t.Errorf("ModuleBytes = %d, sum = %d", got, sum)
+	}
+}
+
+func TestDeclarationsAreFree(t *testing.T) {
+	m := irtext.MustParse(irtext.Fig2Module)
+	if got := FuncBytes(m.FuncByName("start"), X86_64); got != 0 {
+		t.Errorf("declaration costs %d bytes", got)
+	}
+}
+
+func TestInstrBytesOrdering(t *testing.T) {
+	// Phis must be much cheaper than selects (the phi-node-coalescing
+	// profit depends on it), calls cost more than ALU ops.
+	c := ir.NewConstInt(ir.I32, 1)
+	phi := ir.NewPhi("p", ir.I32)
+	sel := ir.NewSelect("s", ir.True, c, c)
+	add := ir.NewBinary(ir.OpAdd, "a", c, c)
+	div := ir.NewBinary(ir.OpSDiv, "d", c, c)
+	for _, target := range []Target{X86_64, Thumb} {
+		if InstrBytes(phi, target) >= InstrBytes(sel, target) {
+			t.Errorf("%v: phi (%d) not cheaper than select (%d)",
+				target, InstrBytes(phi, target), InstrBytes(sel, target))
+		}
+		if InstrBytes(add, target) > InstrBytes(div, target) {
+			t.Errorf("%v: add more expensive than div", target)
+		}
+	}
+}
+
+func TestMergeCostProfitability(t *testing.T) {
+	c := MergeCost{Before: 100, After: 90}
+	if !c.Profitable() || c.Profit() != 10 {
+		t.Error("positive saving should be profitable")
+	}
+	c = MergeCost{Before: 100, After: 100}
+	if c.Profitable() {
+		t.Error("break-even must not be profitable")
+	}
+	c = MergeCost{Before: 100, After: 130}
+	if c.Profitable() {
+		t.Error("regression must not be profitable")
+	}
+}
+
+func TestEvaluateMerge(t *testing.T) {
+	m := irtext.MustParse(irtext.Fig2Module)
+	f1, f2 := m.FuncByName("F1"), m.FuncByName("F2")
+	cost := EvaluateMerge(f1, f2, f1, X86_64, 10) // pretend f1 is "merged"
+	want := FuncBytes(f1, X86_64) + FuncBytes(f2, X86_64)
+	if cost.Before != want {
+		t.Errorf("Before = %d, want %d", cost.Before, want)
+	}
+	if cost.After != FuncBytes(f1, X86_64)+20 {
+		t.Errorf("After = %d", cost.After)
+	}
+}
+
+func TestThunkBytesGrowsWithArgs(t *testing.T) {
+	if ThunkBytes(X86_64, 8) <= ThunkBytes(X86_64, 0) {
+		t.Error("thunk size must grow with the argument count")
+	}
+	if ThunkBytes(Thumb, 4) >= ThunkBytes(X86_64, 4) {
+		t.Error("thumb thunks should be smaller")
+	}
+}
+
+func TestFuncSizeIsInstructionCount(t *testing.T) {
+	m := irtext.MustParse(irtext.Fig2Module)
+	if got := FuncSize(m.FuncByName("F1")); got != 10 {
+		t.Errorf("FuncSize(F1) = %d, want 10", got)
+	}
+}

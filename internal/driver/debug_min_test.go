@@ -1,0 +1,68 @@
+package driver
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/synth"
+	"repro/internal/transform"
+)
+
+// TestMinimizeMergeBug hunts for the smallest failing pair by direct
+// pairwise merging (no cost model) over tiny synthetic functions. Only
+// runs when REPRO_DEBUG_MIN=1.
+func TestMinimizeMergeBug(t *testing.T) {
+	if os.Getenv("REPRO_DEBUG_MIN") == "" {
+		t.Skip("set REPRO_DEBUG_MIN=1 to run the minimiser")
+	}
+	for size := 8; size <= 40; size += 4 {
+		for seed := int64(1); seed <= 120; seed++ {
+			m := synth.Generate(synth.Profile{
+				Name: "min", Seed: seed, Funcs: 2,
+				MinSize: size, AvgSize: size, MaxSize: size,
+				CloneFrac: 1.0, FamilySize: 2, MutRate: 0.08,
+				Loops: 0.6,
+			})
+			f1 := m.FuncByName("min_t00_m0")
+			f2 := m.FuncByName("min_t00_m1")
+			if f1 == nil || f2 == nil {
+				t.Fatalf("functions missing")
+			}
+			orig := ir.CloneModule(m)
+			merged, _, err := core.Merge(m, f1, f2, "mergedfn", core.DefaultOptions())
+			if err != nil {
+				continue
+			}
+			transform.Simplify(merged)
+			if err := ir.VerifyFunction(merged); err != nil {
+				t.Fatalf("size=%d seed=%d verify: %v\n%s\n%s\n%s", size, seed, err,
+					orig.FuncByName(f1.Name()), orig.FuncByName(f2.Name()), merged)
+			}
+			plan, err := core.PlanParams(f1, f2)
+			if err != nil {
+				continue
+			}
+			core.BuildThunk(f1, merged, true, plan.Map1, plan)
+			core.BuildThunk(f2, merged, false, plan.Map2, plan)
+			for _, name := range []string{f1.Name(), f2.Name()} {
+				for as := int64(1); as <= 4; as++ {
+					of := orig.FuncByName(name)
+					nf := m.FuncByName(name)
+					a := interp.Run(nil, of, interp.ArgsFor(of, as))
+					b := interp.Run(nil, nf, interp.ArgsFor(nf, as))
+					if same, why := interp.SameBehavior(a, b); !same {
+						fmt.Printf("FAIL size=%d seed=%d fn=%s argseed=%d: %s\n", size, seed, name, as, why)
+						fmt.Printf("=== F1 ===\n%s\n=== F2 ===\n%s\n=== merged ===\n%s\n",
+							orig.FuncByName(f1.Name()), orig.FuncByName(f2.Name()), merged)
+						t.FailNow()
+					}
+				}
+			}
+		}
+	}
+	fmt.Println("no failure found at small sizes")
+}

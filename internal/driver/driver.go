@@ -1,0 +1,281 @@
+// Package driver runs function merging over whole modules, implementing
+// the pipeline of the paper's Figures 1 and 16: candidate ranking with
+// an exploration threshold, pairwise merging (SalSSA or the FMSA
+// baseline), the profitability cost model, thunk creation for committed
+// merges and rollback for rejected ones, plus the timing and memory
+// accounting the evaluation figures report.
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/fingerprint"
+	"repro/internal/fmsa"
+	"repro/internal/ir"
+	"repro/internal/transform"
+)
+
+// Algorithm selects the merging technique.
+type Algorithm int
+
+// Supported merging techniques.
+const (
+	// SalSSA is the paper's contribution: merging directly on the SSA
+	// form.
+	SalSSA Algorithm = iota
+	// SalSSANoPC is SalSSA without phi-node coalescing (Figure 20).
+	SalSSANoPC
+	// FMSA is the state-of-the-art baseline: register demotion before
+	// merging, register promotion afterwards.
+	FMSA
+)
+
+// String returns the algorithm name as used in the paper's figures.
+func (a Algorithm) String() string {
+	switch a {
+	case SalSSANoPC:
+		return "SalSSA-NoPC"
+	case FMSA:
+		return "FMSA"
+	default:
+		return "SalSSA"
+	}
+}
+
+// Config controls a merging run.
+type Config struct {
+	// Algorithm is the merging technique.
+	Algorithm Algorithm
+	// Threshold is the exploration threshold t: how many ranked
+	// candidates to try per function (paper uses 1, 5, 10).
+	Threshold int
+	// Target selects the size model.
+	Target costmodel.Target
+	// MaxCells caps alignment matrices (0 = none).
+	MaxCells int64
+	// LinearAlign switches to Hirschberg linear-space alignment (an
+	// extension; see the ablation benchmarks).
+	LinearAlign bool
+	// SkipHot excludes the named functions from merging. This is the
+	// paper's §5.7 remedy for runtime overhead: "profiling information
+	// could be used to avoid adding overhead when mergeable code is in
+	// the most frequently executed code path".
+	SkipHot map[string]bool
+	// MinInstrs skips functions smaller than this (0 = keep all).
+	MinInstrs int
+	// CommitFilter, when non-nil, decides whether the i-th profitable
+	// merge is committed (used by the Figure 19 isolation study).
+	CommitFilter func(i int) bool
+}
+
+// MergeRecord describes one committed (or filtered) profitable merge.
+type MergeRecord struct {
+	F1, F2, Merged string
+	Profit         int
+	Stats          core.Stats
+	Committed      bool
+}
+
+// Result reports what a merging run did.
+type Result struct {
+	Algorithm Algorithm
+	Threshold int
+	// BaselineBytes is the module's estimated object size before merging
+	// (the LTO baseline); FinalBytes after.
+	BaselineBytes, FinalBytes int
+	// Merges lists profitable merge operations in commit order.
+	Merges []MergeRecord
+	// Attempts counts merge trials (including unprofitable ones).
+	Attempts int
+	// AlignTime and CodegenTime accumulate the two core phases
+	// (Figure 23); TotalTime is the whole run (Figure 24's overhead).
+	AlignTime, CodegenTime, TotalTime time.Duration
+	// PeakMatrixBytes is the largest alignment matrix (Figure 22's
+	// peak-memory proxy); SumMatrixBytes accumulates all matrices.
+	PeakMatrixBytes, SumMatrixBytes int64
+}
+
+// Reduction returns the percentage object-size reduction over the
+// baseline.
+func (r *Result) Reduction() float64 {
+	if r.BaselineBytes == 0 {
+		return 0
+	}
+	return 100 * float64(r.BaselineBytes-r.FinalBytes) / float64(r.BaselineBytes)
+}
+
+// coreOptions derives the generator options for the algorithm.
+func (c Config) coreOptions() core.Options {
+	var opts core.Options
+	switch c.Algorithm {
+	case SalSSANoPC:
+		opts = core.DefaultOptions()
+		opts.PhiCoalescing = false
+	case FMSA:
+		opts = fmsa.Options()
+	default:
+		opts = core.DefaultOptions()
+	}
+	opts.Align.MaxCells = c.MaxCells
+	opts.Align.Linear = c.LinearAlign
+	return opts
+}
+
+// Run performs function merging on m in place and returns the report.
+func Run(m *ir.Module, cfg Config) *Result {
+	start := time.Now()
+	res := &Result{Algorithm: cfg.Algorithm, Threshold: cfg.Threshold}
+	res.BaselineBytes = costmodel.ModuleBytes(m, cfg.Target)
+
+	// The cost model must price the originals at their *final* (promoted)
+	// size — unmerged functions are promoted back during clean-up — so
+	// record sizes before any demotion.
+	preSize := map[*ir.Function]int{}
+	for _, f := range m.Defined() {
+		preSize[f] = costmodel.FuncBytes(f, cfg.Target)
+	}
+
+	// FMSA must demote every candidate function before it can attempt to
+	// merge at all; this is the source of both its alignment blow-up and
+	// the "FMSA Residue" effect on unmerged functions.
+	if cfg.Algorithm == FMSA {
+		fmsa.PrepareModule(m)
+	}
+
+	candidates := m.Defined()
+	if cfg.MinInstrs > 0 || len(cfg.SkipHot) > 0 {
+		var kept []*ir.Function
+		for _, f := range candidates {
+			if f.NumInstrs() < cfg.MinInstrs || cfg.SkipHot[f.Name()] {
+				continue
+			}
+			kept = append(kept, f)
+		}
+		candidates = kept
+	}
+	ranking := fingerprint.NewRanking(candidates)
+	opts := cfg.coreOptions()
+	consumed := map[*ir.Function]bool{}
+	mergeIdx := 0
+
+	for _, f1 := range ranking.Order() {
+		if consumed[f1] {
+			continue
+		}
+		type best struct {
+			merged *ir.Function
+			f2     *ir.Function
+			profit int
+			stats  core.Stats
+		}
+		var b *best
+		for _, f2 := range ranking.Candidates(f1, cfg.Threshold) {
+			if consumed[f2] {
+				continue
+			}
+			merged, stats, profit, err := tryMerge(m, f1, f2, preSize, opts, cfg, res)
+			res.Attempts++
+			if err != nil {
+				continue
+			}
+			if profit > 0 && (b == nil || profit > b.profit) {
+				if b != nil {
+					m.RemoveFunc(b.merged)
+				}
+				b = &best{merged: merged, f2: f2, profit: profit, stats: *stats}
+			} else {
+				m.RemoveFunc(merged)
+			}
+		}
+		if b == nil {
+			continue
+		}
+		rec := MergeRecord{
+			F1: f1.Name(), F2: b.f2.Name(), Merged: b.merged.Name(),
+			Profit: b.profit, Stats: b.stats, Committed: true,
+		}
+		if cfg.CommitFilter != nil && !cfg.CommitFilter(mergeIdx) {
+			rec.Committed = false
+			m.RemoveFunc(b.merged)
+		} else {
+			commit(f1, b.f2, b.merged, cfg)
+			consumed[f1] = true
+			consumed[b.f2] = true
+			ranking.Remove(f1)
+			ranking.Remove(b.f2)
+		}
+		res.Merges = append(res.Merges, rec)
+		mergeIdx++
+	}
+
+	// Clean-up stage (Figure 1). FMSA re-promotes and simplifies every
+	// function it demoted; whatever cannot be promoted back is the
+	// residue. SalSSA never touched the unmerged functions.
+	if cfg.Algorithm == FMSA {
+		fmsa.CleanupModule(m)
+	}
+	res.FinalBytes = costmodel.ModuleBytes(m, cfg.Target)
+	res.TotalTime = time.Since(start)
+	return res
+}
+
+// tryMerge aligns and merges one candidate pair, timing the phases, and
+// returns the simplified merged function with its estimated profit. The
+// caller owns removal on rejection.
+func tryMerge(m *ir.Module, f1, f2 *ir.Function, preSize map[*ir.Function]int, opts core.Options, cfg Config, res *Result) (*ir.Function, *core.Stats, int, error) {
+	t0 := time.Now()
+	ares, err := align.AlignFunctions(f1, f2, opts.Align)
+	res.AlignTime += time.Since(t0)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	res.SumMatrixBytes += ares.MatrixBytes
+	if ares.MatrixBytes > res.PeakMatrixBytes {
+		res.PeakMatrixBytes = ares.MatrixBytes
+	}
+	name := mergedName(m, f1, f2)
+	t1 := time.Now()
+	merged, stats, err := core.MergeAligned(m, f1, f2, name, ares, opts)
+	if err != nil {
+		res.CodegenTime += time.Since(t1)
+		return nil, nil, 0, err
+	}
+	// The merged function is cleaned before the cost model sees it; for
+	// FMSA this is where register promotion tries (and partially fails)
+	// to undo the demotion inside the merged body.
+	if cfg.Algorithm == FMSA {
+		transform.Mem2Reg(merged)
+	}
+	transform.Simplify(merged)
+	res.CodegenTime += time.Since(t1)
+
+	thunk := costmodel.ThunkBytes(cfg.Target, len(merged.Params()))
+	cost := costmodel.MergeCost{
+		Before: preSize[f1] + preSize[f2],
+		After:  costmodel.FuncBytes(merged, cfg.Target) + 2*thunk,
+	}
+	return merged, stats, cost.Profit(), nil
+}
+
+// commit replaces both originals with thunks into the merged function.
+func commit(f1, f2, merged *ir.Function, cfg Config) {
+	plan, err := core.PlanParams(f1, f2)
+	if err != nil {
+		panic(fmt.Sprintf("driver: committed merge has invalid plan: %v", err))
+	}
+	core.BuildThunk(f1, merged, true, plan.Map1, plan)
+	core.BuildThunk(f2, merged, false, plan.Map2, plan)
+}
+
+func mergedName(m *ir.Module, f1, f2 *ir.Function) string {
+	base := fmt.Sprintf("merged.%s.%s", f1.Name(), f2.Name())
+	name := base
+	for i := 1; m.FuncByName(name) != nil; i++ {
+		name = fmt.Sprintf("%s.%d", base, i)
+	}
+	return name
+}

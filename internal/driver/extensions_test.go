@@ -1,0 +1,64 @@
+package driver
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/ir"
+	"repro/internal/synth"
+)
+
+// TestLinearAlignSameMergesLessMemory: the Hirschberg option must find
+// the same profitable merges (same optimal scores) with a far smaller
+// peak matrix, and the result must still pass differential testing.
+func TestLinearAlignSameMergesLessMemory(t *testing.T) {
+	profile := synth.Profile{
+		Name: "lin", Seed: 77, Funcs: 24,
+		MinSize: 10, AvgSize: 60, MaxSize: 200,
+		CloneFrac: 0.6, FamilySize: 2, MutRate: 0.04, Loops: 0.6,
+	}
+	m1 := synth.Generate(profile)
+	m2 := synth.Generate(profile)
+	orig := ir.CloneModule(m2)
+	rq := Run(m1, Config{Algorithm: SalSSA, Threshold: 1, Target: costmodel.X86_64})
+	rl := Run(m2, Config{Algorithm: SalSSA, Threshold: 1, Target: costmodel.X86_64, LinearAlign: true})
+	if err := ir.VerifyModule(m2); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if len(rq.Merges) != len(rl.Merges) {
+		t.Errorf("quadratic found %d merges, linear %d", len(rq.Merges), len(rl.Merges))
+	}
+	if rl.PeakMatrixBytes*4 > rq.PeakMatrixBytes {
+		t.Errorf("linear peak %d not clearly below quadratic %d",
+			rl.PeakMatrixBytes, rq.PeakMatrixBytes)
+	}
+	diffModule(t, orig, m2, "linear-align")
+}
+
+// TestSkipHotExcludesFunctions: hot functions are never merged away.
+func TestSkipHotExcludesFunctions(t *testing.T) {
+	profile := synth.Profile{
+		Name: "hot", Seed: 88, Funcs: 20,
+		MinSize: 10, AvgSize: 60, MaxSize: 200,
+		CloneFrac: 0.8, FamilySize: 2, MutRate: 0.02, Loops: 0.5,
+	}
+	// First find out what merges without the hint.
+	m0 := synth.Generate(profile)
+	r0 := Run(m0, Config{Algorithm: SalSSA, Threshold: 1, Target: costmodel.X86_64})
+	if len(r0.Merges) == 0 {
+		t.Skip("module produced no merges")
+	}
+	hot := map[string]bool{r0.Merges[0].F1: true}
+	m1 := synth.Generate(profile)
+	r1 := Run(m1, Config{Algorithm: SalSSA, Threshold: 1, Target: costmodel.X86_64, SkipHot: hot})
+	for _, rec := range r1.Merges {
+		if hot[rec.F1] || hot[rec.F2] {
+			t.Errorf("hot function merged: %s + %s", rec.F1, rec.F2)
+		}
+	}
+	// The hot function must keep its original body (not become a thunk).
+	f := m1.FuncByName(r0.Merges[0].F1)
+	if f == nil || f.IsDecl() {
+		t.Fatal("hot function missing")
+	}
+}

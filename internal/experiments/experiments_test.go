@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// scaledLab shares one heavily scaled-down lab across the smoke tests.
+var testLab = func() *Lab {
+	l := NewLab()
+	l.Scale = 24
+	return l
+}()
+
+func TestAllExperimentsProduceRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow in -short mode")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			table, ok := testLab.ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s missing", id)
+			}
+			if table.ID != id {
+				t.Errorf("table id %q, want %q", table.ID, id)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatalf("%s produced no rows", id)
+			}
+			if len(table.Header) == 0 {
+				t.Fatalf("%s has no header", id)
+			}
+			for _, r := range table.Rows {
+				if len(r) > len(table.Header) {
+					t.Errorf("%s row wider than header: %v", id, r)
+				}
+			}
+			// Renders without panicking and contains the id.
+			if !strings.Contains(table.String(), id) {
+				t.Errorf("%s rendering lacks id", id)
+			}
+		})
+	}
+}
+
+func TestFig5RatioInPaperBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	table := testLab.Fig5()
+	last := table.Rows[len(table.Rows)-1]
+	ratio, err := strconv.ParseFloat(last[len(last)-1], 64)
+	if err != nil {
+		t.Fatalf("bad GMean cell %q", last[len(last)-1])
+	}
+	// Paper: 1.73x, "often by twice or more". Accept the band [1.4, 3.0].
+	if ratio < 1.4 || ratio > 3.0 {
+		t.Errorf("demotion growth GMean %.2f outside the plausible band", ratio)
+	}
+}
+
+func TestFig20OrderingHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	table := testLab.Fig20()
+	last := table.Rows[len(table.Rows)-1]
+	fmsa, _ := strconv.ParseFloat(last[1], 64)
+	nopc, _ := strconv.ParseFloat(last[2], 64)
+	salssa, _ := strconv.ParseFloat(last[3], 64)
+	if !(fmsa <= nopc && nopc <= salssa+0.5) {
+		t.Errorf("expected FMSA <= SalSSA-NoPC <= SalSSA, got %.1f / %.1f / %.1f",
+			fmsa, nopc, salssa)
+	}
+	if salssa <= fmsa {
+		t.Errorf("SalSSA (%.1f%%) must beat FMSA (%.1f%%)", salssa, fmsa)
+	}
+}
+
+func TestGmeanHelpers(t *testing.T) {
+	if g := gmeanRatio([]float64{2, 8}); g != 4 {
+		t.Errorf("gmeanRatio(2,8) = %v, want 4", g)
+	}
+	if g := gmeanRatio(nil); g != 1 {
+		t.Errorf("gmeanRatio(nil) = %v, want 1", g)
+	}
+	red := gmeanReduction([]float64{50, 50})
+	if red < 49.9 || red > 50.1 {
+		t.Errorf("gmeanReduction(50,50) = %v, want 50", red)
+	}
+}
+
+func TestLabCaching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	l := NewLab()
+	l.Scale = 20
+	p := synth.MiBench()[0] // CRC32, tiny
+	e1 := l.run("mibench", p, 0, 1, 0)
+	e2 := l.run("mibench", p, 0, 1, 0)
+	if e1 != e2 {
+		t.Error("identical runs not cached")
+	}
+}

@@ -1,0 +1,167 @@
+// Package fingerprint implements the candidate-ranking mechanism both
+// FMSA and SalSSA use to decide which pairs of functions to attempt to
+// merge (paper §5.1): each function is summarised by an opcode-frequency
+// fingerprint, and for every function the t most similar other functions
+// are tried, where t is the exploration threshold.
+package fingerprint
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Fingerprint is an opcode-frequency vector plus light shape data. The
+// distance between fingerprints lower-bounds how much of the functions
+// cannot match under alignment, so ranking by it orders candidates by
+// merge potential.
+type Fingerprint struct {
+	// OpCount[op] is the number of instructions with that opcode.
+	OpCount [64]int32
+	// Blocks is the number of basic blocks (labels align with labels).
+	Blocks int32
+	// Size is the total instruction count.
+	Size int32
+}
+
+// New computes the fingerprint of f.
+func New(f *ir.Function) *Fingerprint {
+	fp := &Fingerprint{Blocks: int32(len(f.Blocks))}
+	f.Instrs(func(in *ir.Instruction) bool {
+		fp.OpCount[int(in.Op())]++
+		fp.Size++
+		return true
+	})
+	return fp
+}
+
+// Distance is the Manhattan distance between opcode vectors plus the
+// block-count difference. Smaller means more similar; 0 does not imply
+// the functions are mergeable, only that their opcode multisets agree.
+func Distance(a, b *Fingerprint) int32 {
+	var d int32
+	for i := range a.OpCount {
+		d += abs32(a.OpCount[i] - b.OpCount[i])
+	}
+	return d + abs32(a.Blocks-b.Blocks)
+}
+
+// UpperBoundMatches returns an upper bound on the number of alignment
+// matches between functions with these fingerprints: min per-opcode
+// counts plus min block counts.
+func UpperBoundMatches(a, b *Fingerprint) int32 {
+	var n int32
+	for i := range a.OpCount {
+		n += min32(a.OpCount[i], b.OpCount[i])
+	}
+	return n + min32(a.Blocks, b.Blocks)
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Ranking owns the fingerprints of a set of candidate functions and
+// answers "which t functions look most similar to f".
+type Ranking struct {
+	funcs []*ir.Function
+	fps   map[*ir.Function]*Fingerprint
+}
+
+// NewRanking fingerprints every defined function in the list.
+func NewRanking(funcs []*ir.Function) *Ranking {
+	r := &Ranking{funcs: funcs, fps: make(map[*ir.Function]*Fingerprint, len(funcs))}
+	for _, f := range funcs {
+		if !f.IsDecl() {
+			r.fps[f] = New(f)
+		}
+	}
+	return r
+}
+
+// Remove drops f from future candidate lists (it was merged away).
+func (r *Ranking) Remove(f *ir.Function) { delete(r.fps, f) }
+
+// Add (re-)fingerprints f and makes it a candidate.
+func (r *Ranking) Add(f *ir.Function) {
+	present := false
+	for _, g := range r.funcs {
+		if g == f {
+			present = true
+			break
+		}
+	}
+	if !present {
+		r.funcs = append(r.funcs, f)
+	}
+	r.fps[f] = New(f)
+}
+
+// Candidates returns up to t candidate partners for f, most similar
+// first. Functions without fingerprints (removed/declarations) and f
+// itself are skipped. Candidates whose match upper bound cannot possibly
+// cover the smaller function's half are kept anyway (ranking is a
+// heuristic; the cost model has the final word), matching the paper's
+// pipeline where ranking only orders the attempts.
+func (r *Ranking) Candidates(f *ir.Function, t int) []*ir.Function {
+	self := r.fps[f]
+	if self == nil || t <= 0 {
+		return nil
+	}
+	type scored struct {
+		fn *ir.Function
+		d  int32
+	}
+	var list []scored
+	for _, g := range r.funcs {
+		fp := r.fps[g]
+		if fp == nil || g == f {
+			continue
+		}
+		list = append(list, scored{fn: g, d: Distance(self, fp)})
+	}
+	sort.SliceStable(list, func(i, j int) bool {
+		if list[i].d != list[j].d {
+			return list[i].d < list[j].d
+		}
+		return list[i].fn.Name() < list[j].fn.Name()
+	})
+	if len(list) > t {
+		list = list[:t]
+	}
+	out := make([]*ir.Function, len(list))
+	for i, s := range list {
+		out[i] = s.fn
+	}
+	return out
+}
+
+// Order returns the functions sorted largest-first by instruction count,
+// the order in which merging is attempted ("both FMSA and SalSSA start
+// merging from the largest to the smallest functions", §5.5).
+func (r *Ranking) Order() []*ir.Function {
+	var out []*ir.Function
+	for _, f := range r.funcs {
+		if r.fps[f] != nil {
+			out = append(out, f)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := r.fps[out[i]].Size, r.fps[out[j]].Size
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}

@@ -1,0 +1,111 @@
+package fmsa
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/transform"
+)
+
+func TestFMSAPipelineOnFig2(t *testing.T) {
+	m, err := irtext.Parse(irtext.Fig2Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, f2 := m.FuncByName("F1"), m.FuncByName("F2")
+	PrepareModule(m)
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("after Prepare: %v", err)
+	}
+	// No phis may remain anywhere after demotion.
+	for _, f := range m.Defined() {
+		f.Instrs(func(in *ir.Instruction) bool {
+			if in.Op() == ir.OpPhi {
+				t.Errorf("phi survived demotion in @%s", f.Name())
+			}
+			return true
+		})
+	}
+	merged, stats, err := MergePair(m, f1, f2, "fm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyFunction(merged); err != nil {
+		t.Fatalf("merged: %v\n%s", err, merged)
+	}
+	if stats.XorRewrites != 0 {
+		t.Error("FMSA must not use the xor-branch rewrite")
+	}
+	if stats.CoalescedPairs != 0 {
+		t.Error("FMSA must not use phi-node coalescing")
+	}
+	CleanupModule(m)
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("after Cleanup: %v", err)
+	}
+}
+
+// TestFMSAMergedSlotsMayResistPromotion demonstrates the paper's §3
+// pathology end to end: after merging demoted functions whose aligned
+// stores hit different slots, some allocas survive promotion inside the
+// merged function.
+func TestFMSAMergedSlotsMayResistPromotion(t *testing.T) {
+	// Two functions with cross-block values in different positions, so
+	// their demoted slot lists misalign.
+	src := `
+declare i32 @e1(i32)
+declare i32 @e2(i32)
+define i32 @a(i32 %x, i1 %c) {
+entry:
+  %mx = mul i32 %x, 3
+  %v = call i32 @e1(i32 %x)
+  br i1 %c, label %t, label %j
+t:
+  br label %j
+j:
+  %w = add i32 %v, %mx
+  %r = call i32 @e2(i32 %w)
+  ret i32 %r
+}
+define i32 @b(i32 %x, i1 %c) {
+entry:
+  %v = call i32 @e1(i32 %x)
+  br i1 %c, label %t, label %j
+t:
+  br label %j
+j:
+  %w = add i32 %v, 7
+  %r = call i32 @e2(i32 %w)
+  ret i32 %r
+}`
+	m := irtext.MustParse(src)
+	f1, f2 := m.FuncByName("a"), m.FuncByName("b")
+	PrepareModule(m)
+	merged, _, err := MergePair(m, f1, f2, "fm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	transform.Simplify(merged)
+	if err := ir.VerifyFunction(merged); err != nil {
+		t.Fatalf("verify: %v\n%s", err, merged)
+	}
+	// The theorem here is one-sided: SalSSA on the same (un-demoted) pair
+	// must not be bigger than FMSA's result.
+	m2 := irtext.MustParse(src)
+	s1, s2 := m2.FuncByName("a"), m2.FuncByName("b")
+	import2, _, err := mergeSalSSA(m2, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transform.Simplify(import2)
+	if import2.NumInstrs() > merged.NumInstrs() {
+		t.Errorf("SalSSA merged size %d > FMSA %d", import2.NumInstrs(), merged.NumInstrs())
+	}
+}
+
+func mergeSalSSA(m *ir.Module, f1, f2 *ir.Function) (*ir.Function, int, error) {
+	merged, _, err := core.Merge(m, f1, f2, "sal", core.DefaultOptions())
+	return merged, 0, err
+}

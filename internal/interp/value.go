@@ -1,0 +1,153 @@
+// Package interp is a reference interpreter for the IR. It serves two
+// roles in the reproduction: (1) differential testing — a merged
+// function must behave identically to its originals (same return value,
+// same externally visible call trace) for both values of the function
+// identifier; (2) the dynamic instruction counts behind the runtime-
+// overhead experiment (the paper's Figure 25).
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Kind discriminates runtime values.
+type Kind uint8
+
+// Runtime value kinds.
+const (
+	KUndef Kind = iota
+	KInt
+	KFloat
+	KPtr
+	KFunc
+	KAggregate
+)
+
+// Value is a runtime value. Undef propagates through arithmetic and only
+// faults when observed (branched on, dereferenced, returned or passed to
+// an external).
+type Value struct {
+	Kind  Kind
+	Int   int64
+	Float float64
+	Ptr   Pointer
+	Func  *ir.Function
+	Agg   []Value
+}
+
+// Undef is the undefined value.
+var Undef = Value{Kind: KUndef}
+
+// IntV returns an integer value.
+func IntV(v int64) Value { return Value{Kind: KInt, Int: v} }
+
+// FloatV returns a float value.
+func FloatV(v float64) Value { return Value{Kind: KFloat, Float: v} }
+
+// BoolV returns an i1 value (sign-extended like ir.ConstInt).
+func BoolV(b bool) Value {
+	if b {
+		return IntV(-1)
+	}
+	return IntV(0)
+}
+
+// Bool interprets the value as i1.
+func (v Value) Bool() bool { return v.Kind == KInt && v.Int != 0 }
+
+// IsUndef reports whether the value is undefined.
+func (v Value) IsUndef() bool { return v.Kind == KUndef }
+
+// String renders the value for traces and error messages.
+func (v Value) String() string {
+	switch v.Kind {
+	case KUndef:
+		return "undef"
+	case KInt:
+		return fmt.Sprint(v.Int)
+	case KFloat:
+		return fmt.Sprintf("%g", v.Float)
+	case KPtr:
+		if v.Ptr.Obj == nil {
+			return "null"
+		}
+		return fmt.Sprintf("&%s+%d", v.Ptr.Obj.Name, v.Ptr.Off)
+	case KFunc:
+		return "@" + v.Func.Name()
+	case KAggregate:
+		return fmt.Sprintf("agg%v", v.Agg)
+	}
+	return "?"
+}
+
+// Equal compares values structurally (NaN != NaN deliberately: the
+// synthetic workloads avoid NaN).
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KUndef:
+		return true
+	case KInt:
+		return v.Int == o.Int
+	case KFloat:
+		return v.Float == o.Float
+	case KPtr:
+		return v.Ptr == o.Ptr
+	case KFunc:
+		return v.Func == o.Func
+	case KAggregate:
+		if len(v.Agg) != len(o.Agg) {
+			return false
+		}
+		for i := range v.Agg {
+			if !v.Agg[i].Equal(o.Agg[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Object is an allocated memory object: a flattened array of scalar
+// slots.
+type Object struct {
+	Name  string
+	Slots []Value
+}
+
+// Pointer references a slot within an object.
+type Pointer struct {
+	Obj *Object
+	Off int
+}
+
+// slotCount returns the number of scalar slots occupied by a value of
+// type t in the flattened memory model.
+func slotCount(t ir.Type) int {
+	switch t := t.(type) {
+	case *ir.ArrayType:
+		return t.Len * slotCount(t.Elem)
+	case *ir.StructType:
+		n := 0
+		for _, f := range t.Fields {
+			n += slotCount(f)
+		}
+		return n
+	default:
+		return 1
+	}
+}
+
+// fieldOffset returns the slot offset of struct field i.
+func fieldOffset(t *ir.StructType, i int) int {
+	off := 0
+	for j := 0; j < i; j++ {
+		off += slotCount(t.Fields[j])
+	}
+	return off
+}

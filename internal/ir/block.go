@@ -1,0 +1,186 @@
+package ir
+
+import "fmt"
+
+// Block is a basic block: a label followed by a straight-line sequence of
+// instructions ending in exactly one terminator. A Block is itself a
+// Value of label type so that terminators and phis can hold blocks as
+// ordinary operands.
+type Block struct {
+	useList
+	name   string
+	parent *Function
+	instrs []*Instruction
+}
+
+// NewBlock returns a detached block with the given name.
+func NewBlock(name string) *Block { return &Block{name: name} }
+
+// Type returns the label type.
+func (b *Block) Type() Type { return Label }
+
+// Name returns the block's label name.
+func (b *Block) Name() string { return b.name }
+
+// SetName renames the block.
+func (b *Block) SetName(name string) { b.name = name }
+
+// Parent returns the function containing the block, or nil.
+func (b *Block) Parent() *Function { return b.parent }
+
+// Instrs returns the block's instructions in order. The slice is shared;
+// use Append/InsertBefore/Remove to mutate.
+func (b *Block) Instrs() []*Instruction { return b.instrs }
+
+// Len returns the number of instructions in the block.
+func (b *Block) Len() int { return len(b.instrs) }
+
+// Empty reports whether the block has no instructions.
+func (b *Block) Empty() bool { return len(b.instrs) == 0 }
+
+// First returns the first instruction, or nil.
+func (b *Block) First() *Instruction {
+	if len(b.instrs) == 0 {
+		return nil
+	}
+	return b.instrs[0]
+}
+
+// Term returns the block's terminator, or nil if the block is not yet
+// terminated.
+func (b *Block) Term() *Instruction {
+	if n := len(b.instrs); n > 0 && b.instrs[n-1].IsTerminator() {
+		return b.instrs[n-1]
+	}
+	return nil
+}
+
+// Phis returns the block's leading phi instructions.
+func (b *Block) Phis() []*Instruction {
+	n := 0
+	for n < len(b.instrs) && b.instrs[n].op == OpPhi {
+		n++
+	}
+	return b.instrs[:n]
+}
+
+// FirstNonPhi returns the first non-phi instruction, or nil.
+func (b *Block) FirstNonPhi() *Instruction {
+	for _, in := range b.instrs {
+		if in.op != OpPhi {
+			return in
+		}
+	}
+	return nil
+}
+
+// Append adds an instruction at the end of the block.
+func (b *Block) Append(in *Instruction) *Instruction {
+	if in.parent != nil {
+		panic("ir: appending attached instruction")
+	}
+	in.parent = b
+	b.instrs = append(b.instrs, in)
+	return in
+}
+
+// InsertBefore inserts in immediately before pos, which must belong to b.
+func (b *Block) InsertBefore(in, pos *Instruction) *Instruction {
+	if in.parent != nil {
+		panic("ir: inserting attached instruction")
+	}
+	i := b.indexOf(pos)
+	in.parent = b
+	b.instrs = append(b.instrs, nil)
+	copy(b.instrs[i+1:], b.instrs[i:])
+	b.instrs[i] = in
+	return in
+}
+
+// InsertAfter inserts in immediately after pos, which must belong to b.
+func (b *Block) InsertAfter(in, pos *Instruction) *Instruction {
+	i := b.indexOf(pos)
+	if i == len(b.instrs)-1 {
+		return b.Append(in)
+	}
+	return b.InsertBefore(in, b.instrs[i+1])
+}
+
+// InsertAtFront inserts in as the first instruction of the block.
+func (b *Block) InsertAtFront(in *Instruction) *Instruction {
+	if len(b.instrs) == 0 {
+		return b.Append(in)
+	}
+	return b.InsertBefore(in, b.instrs[0])
+}
+
+// Remove detaches in from the block without touching its operands, so it
+// can be re-inserted elsewhere.
+func (b *Block) Remove(in *Instruction) {
+	i := b.indexOf(in)
+	copy(b.instrs[i:], b.instrs[i+1:])
+	b.instrs = b.instrs[:len(b.instrs)-1]
+	in.parent = nil
+}
+
+// Erase removes in from the block and drops its operand uses. The
+// instruction must itself be unused.
+func (b *Block) Erase(in *Instruction) {
+	if HasUses(in) {
+		panic(fmt.Sprintf("ir: erasing %v instruction that still has uses", in.op))
+	}
+	b.Remove(in)
+	in.dropOperands()
+}
+
+func (b *Block) indexOf(in *Instruction) int {
+	for i, x := range b.instrs {
+		if x == in {
+			return i
+		}
+	}
+	panic("ir: instruction not in block")
+}
+
+// Preds returns the distinct predecessor blocks of b, derived from the
+// use list (terminator label operands only, not phi references).
+func (b *Block) Preds() []*Block {
+	var out []*Block
+	seen := map[*Block]bool{}
+	for _, u := range b.uses() {
+		if u.User.op == OpPhi || !u.User.IsTerminator() {
+			continue
+		}
+		p := u.User.parent
+		if p != nil && !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// HasPred reports whether p is a predecessor of b.
+func (b *Block) HasPred(p *Block) bool {
+	for _, u := range b.uses() {
+		if u.User.IsTerminator() && u.User.op != OpPhi && u.User.parent == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Succs returns the successor blocks of b in terminator operand order
+// (duplicates preserved). Returns nil for unterminated blocks.
+func (b *Block) Succs() []*Block {
+	t := b.Term()
+	if t == nil {
+		return nil
+	}
+	return t.Succs()
+}
+
+// IsEntry reports whether b is its function's entry block.
+func (b *Block) IsEntry() bool {
+	return b.parent != nil && len(b.parent.Blocks) > 0 && b.parent.Blocks[0] == b
+}

@@ -1,0 +1,117 @@
+package ir
+
+// CloneInstruction returns a detached copy of in referring to the same
+// operands. Auxiliary data (predicate, alloca type, cleanup flag) is
+// preserved.
+func CloneInstruction(in *Instruction) *Instruction {
+	c := newInstr(in.op, in.name, in.typ, in.operands...)
+	c.Pred = in.Pred
+	c.AllocTy = in.AllocTy
+	c.Cleanup = in.Cleanup
+	return c
+}
+
+// RemapOperands rewrites every operand of in that has an entry in vmap.
+func RemapOperands(in *Instruction, vmap map[Value]Value) {
+	for i, op := range in.operands {
+		if nv, ok := vmap[op]; ok {
+			in.SetOperand(i, nv)
+		}
+	}
+}
+
+// CloneFunction returns a deep copy of f named name, together with the
+// value map from original values (arguments, blocks, instructions) to
+// their clones.
+func CloneFunction(f *Function, name string) (*Function, map[Value]Value) {
+	clone := NewFunction(name, f.sig)
+	vmap := make(map[Value]Value, f.NumInstrs()+len(f.params))
+	for i, p := range f.params {
+		clone.params[i].SetName(p.Name())
+		vmap[p] = clone.params[i]
+	}
+	for _, b := range f.Blocks {
+		nb := clone.NewBlockIn(b.name)
+		vmap[b] = nb
+	}
+	// First pass: clone instructions with original operands.
+	for _, b := range f.Blocks {
+		nb := vmap[b].(*Block)
+		for _, in := range b.instrs {
+			c := CloneInstruction(in)
+			nb.Append(c)
+			vmap[in] = c
+		}
+	}
+	// Second pass: remap operands into the clone's value space.
+	for _, b := range clone.Blocks {
+		for _, in := range b.instrs {
+			RemapOperands(in, vmap)
+		}
+	}
+	return clone, vmap
+}
+
+// CloneModule returns a deep copy of m. Function bodies and the function
+// list are copied; GlobalVar objects are shared (they are immutable
+// descriptors — runtime storage is owned by interpreter environments).
+func CloneModule(m *Module) *Module {
+	out := NewModule()
+	fnMap := make(map[*Function]*Function, len(m.Funcs))
+	for _, f := range m.Funcs {
+		nf := NewFunction(f.Name(), f.sig)
+		for i, p := range f.params {
+			nf.params[i].SetName(p.Name())
+		}
+		out.AddFunc(nf)
+		fnMap[f] = nf
+	}
+	out.Globals = append(out.Globals, m.Globals...)
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		nf := fnMap[f]
+		CloneFunctionInto(nf, f)
+		// Remap function-reference operands into the new module.
+		for _, b := range nf.Blocks {
+			for _, in := range b.instrs {
+				for i, op := range in.operands {
+					if g, ok := op.(*Function); ok {
+						if ng, ok := fnMap[g]; ok {
+							in.SetOperand(i, ng)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CloneFunctionInto clones f's body into dst, which must share f's
+// signature and be a declaration. Returns the value map.
+func CloneFunctionInto(dst, f *Function) map[Value]Value {
+	if !dst.IsDecl() {
+		panic("ir: CloneFunctionInto target has a body")
+	}
+	if !TypesEqual(dst.sig, f.sig) {
+		panic("ir: CloneFunctionInto signature mismatch")
+	}
+	tmp, vmap := CloneFunction(f, dst.name)
+	// Transfer parameter identities: rewrite uses of tmp params to dst params.
+	for i, p := range tmp.params {
+		ReplaceAllUsesWith(p, dst.params[i])
+		for k, v := range vmap {
+			if v == Value(p) {
+				vmap[k] = dst.params[i]
+			}
+		}
+	}
+	for _, b := range tmp.Blocks {
+		b.parent = dst
+	}
+	dst.Blocks = tmp.Blocks
+	tmp.Blocks = nil
+	return vmap
+}

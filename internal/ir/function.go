@@ -1,0 +1,261 @@
+package ir
+
+import "fmt"
+
+// Function is an IR function: a signature plus (for definitions) a list
+// of basic blocks, the first of which is the entry block. A Function is a
+// Value of pointer-to-function type so it can appear as a call target.
+type Function struct {
+	name   string
+	sig    *FuncType
+	params []*Argument
+	// Blocks is the block list; Blocks[0] is the entry. Empty for
+	// declarations.
+	Blocks []*Block
+	parent *Module
+}
+
+// NewFunction returns a detached function with parameters named after
+// paramNames (padded with generated names when too short).
+func NewFunction(name string, sig *FuncType, paramNames ...string) *Function {
+	f := &Function{name: name, sig: sig}
+	for i, pt := range sig.Params {
+		pn := fmt.Sprintf("arg%d", i)
+		if i < len(paramNames) && paramNames[i] != "" {
+			pn = paramNames[i]
+		}
+		f.params = append(f.params, &Argument{name: pn, typ: pt, parent: f, index: i})
+	}
+	return f
+}
+
+// Type returns the pointer-to-function type of the function value.
+func (f *Function) Type() Type { return PtrTo(f.sig) }
+
+// Sig returns the function's signature.
+func (f *Function) Sig() *FuncType { return f.sig }
+
+// Name returns the function's name.
+func (f *Function) Name() string { return f.name }
+
+// SetName renames the function. When attached to a module, the module's
+// lookup index is updated.
+func (f *Function) SetName(name string) {
+	if f.parent != nil {
+		delete(f.parent.funcByName, f.name)
+		f.parent.funcByName[name] = f
+	}
+	f.name = name
+}
+
+// Parent returns the module containing the function, or nil.
+func (f *Function) Parent() *Module { return f.parent }
+
+// Params returns the function's formal parameters.
+func (f *Function) Params() []*Argument { return f.params }
+
+// Param returns the i-th formal parameter.
+func (f *Function) Param(i int) *Argument { return f.params[i] }
+
+// IsDecl reports whether the function is a declaration (no body).
+func (f *Function) IsDecl() bool { return len(f.Blocks) == 0 }
+
+// Entry returns the entry block, or nil for declarations.
+func (f *Function) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// AddBlock appends a block to the function.
+func (f *Function) AddBlock(b *Block) *Block {
+	if b.parent != nil {
+		panic("ir: adding attached block")
+	}
+	b.parent = f
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// NewBlockIn creates a new block with the given name and appends it.
+func (f *Function) NewBlockIn(name string) *Block {
+	return f.AddBlock(NewBlock(name))
+}
+
+// RemoveBlock detaches b from the function. The caller is responsible
+// for fixing dangling references.
+func (f *Function) RemoveBlock(b *Block) {
+	for i, x := range f.Blocks {
+		if x == b {
+			copy(f.Blocks[i:], f.Blocks[i+1:])
+			f.Blocks = f.Blocks[:len(f.Blocks)-1]
+			b.parent = nil
+			return
+		}
+	}
+	panic("ir: block not in function")
+}
+
+// EraseBlock removes b and erases all its instructions (dropping operand
+// uses). References to b or its instructions from other blocks must have
+// been removed already.
+func (f *Function) EraseBlock(b *Block) {
+	// Drop operands first so intra-block uses do not trip Erase.
+	for _, in := range b.instrs {
+		in.dropOperands()
+	}
+	for _, in := range b.instrs {
+		if HasUses(in) {
+			panic(fmt.Sprintf("ir: erased block %s defines a live value (%v)", b.name, in.op))
+		}
+		in.parent = nil
+	}
+	b.instrs = nil
+	if HasUses(b) {
+		panic(fmt.Sprintf("ir: erased block %s still referenced", b.name))
+	}
+	f.RemoveBlock(b)
+}
+
+// EraseBlocks removes a group of blocks at once, dropping all operand
+// uses first so mutual references among the group do not matter. Values
+// defined in the group must not be used outside it.
+func (f *Function) EraseBlocks(blocks []*Block) {
+	for _, b := range blocks {
+		for _, in := range b.instrs {
+			in.dropOperands()
+		}
+	}
+	for _, b := range blocks {
+		for _, in := range b.instrs {
+			if HasUses(in) {
+				panic(fmt.Sprintf("ir: erased block %s defines a live value (%v)", b.name, in.op))
+			}
+			in.parent = nil
+		}
+		b.instrs = nil
+		if HasUses(b) {
+			panic(fmt.Sprintf("ir: erased block %s still referenced", b.name))
+		}
+		f.RemoveBlock(b)
+	}
+}
+
+// NumInstrs returns the total number of instructions in the function.
+func (f *Function) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.instrs)
+	}
+	return n
+}
+
+// Instrs calls fn for every instruction in block order; if fn returns
+// false the walk stops.
+func (f *Function) Instrs(fn func(*Instruction) bool) {
+	for _, b := range f.Blocks {
+		for _, in := range b.instrs {
+			if !fn(in) {
+				return
+			}
+		}
+	}
+}
+
+// Clear removes and erases all blocks, turning the function into a
+// declaration; used when replacing a merged function's body with a thunk.
+func (f *Function) Clear() {
+	// Drop all operand uses first, then detach.
+	for _, b := range f.Blocks {
+		for _, in := range b.instrs {
+			in.dropOperands()
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.instrs {
+			in.useList.us = nil
+			in.parent = nil
+		}
+		b.instrs = nil
+		b.useList.us = nil
+		b.parent = nil
+	}
+	f.Blocks = nil
+}
+
+// Module is a translation unit: a set of functions and global variables.
+type Module struct {
+	Funcs      []*Function
+	Globals    []*GlobalVar
+	funcByName map[string]*Function
+}
+
+// NewModule returns an empty module.
+func NewModule() *Module {
+	return &Module{funcByName: map[string]*Function{}}
+}
+
+// AddFunc appends a function to the module.
+func (m *Module) AddFunc(f *Function) *Function {
+	if f.parent != nil {
+		panic("ir: adding attached function")
+	}
+	f.parent = m
+	m.Funcs = append(m.Funcs, f)
+	m.funcByName[f.name] = f
+	return f
+}
+
+// FuncByName returns the function with the given name, or nil.
+func (m *Module) FuncByName(name string) *Function { return m.funcByName[name] }
+
+// RemoveFunc detaches f from the module.
+func (m *Module) RemoveFunc(f *Function) {
+	for i, x := range m.Funcs {
+		if x == f {
+			copy(m.Funcs[i:], m.Funcs[i+1:])
+			m.Funcs = m.Funcs[:len(m.Funcs)-1]
+			delete(m.funcByName, f.name)
+			f.parent = nil
+			return
+		}
+	}
+	panic("ir: function not in module")
+}
+
+// AddGlobal appends a global variable to the module.
+func (m *Module) AddGlobal(g *GlobalVar) *GlobalVar {
+	m.Globals = append(m.Globals, g)
+	return g
+}
+
+// GlobalByName returns the global with the given name, or nil.
+func (m *Module) GlobalByName(name string) *GlobalVar {
+	for _, g := range m.Globals {
+		if g.name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// NumInstrs returns the total instruction count over all functions.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+// Defined returns the functions that have bodies, in module order.
+func (m *Module) Defined() []*Function {
+	var out []*Function
+	for _, f := range m.Funcs {
+		if !f.IsDecl() {
+			out = append(out, f)
+		}
+	}
+	return out
+}

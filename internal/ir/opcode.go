@@ -1,0 +1,251 @@
+package ir
+
+// Opcode identifies the operation performed by an Instruction.
+type Opcode uint8
+
+// Instruction opcodes. The set mirrors the subset of LLVM IR exercised by
+// the function-merging algorithms: integer and floating-point arithmetic,
+// comparisons, memory operations, casts, control flow (including the
+// invoke/landingpad exception model), phi, select and call.
+const (
+	OpInvalid Opcode = iota
+
+	// Terminators.
+	OpRet
+	OpBr
+	OpSwitch
+	OpUnreachable
+	OpInvoke
+	OpResume
+
+	// Integer binary operations.
+	OpAdd
+	OpSub
+	OpMul
+	OpSDiv
+	OpUDiv
+	OpSRem
+	OpURem
+	OpShl
+	OpLShr
+	OpAShr
+	OpAnd
+	OpOr
+	OpXor
+
+	// Floating-point binary operations.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+
+	// Comparisons.
+	OpICmp
+	OpFCmp
+
+	// Memory.
+	OpAlloca
+	OpLoad
+	OpStore
+	OpGEP
+
+	// Casts.
+	OpTrunc
+	OpZExt
+	OpSExt
+	OpFPToSI
+	OpSIToFP
+	OpPtrToInt
+	OpIntToPtr
+	OpBitcast
+
+	// Other.
+	OpPhi
+	OpSelect
+	OpCall
+	OpLandingPad
+
+	numOpcodes
+)
+
+// opcodeInfo captures static per-opcode properties.
+type opcodeInfo struct {
+	name        string
+	terminator  bool
+	commutative bool
+	sideEffects bool // may write memory or transfer control elsewhere
+	binary      bool
+	cast        bool
+}
+
+var opcodeTable = [numOpcodes]opcodeInfo{
+	OpInvalid:     {name: "invalid"},
+	OpRet:         {name: "ret", terminator: true, sideEffects: true},
+	OpBr:          {name: "br", terminator: true, sideEffects: true},
+	OpSwitch:      {name: "switch", terminator: true, sideEffects: true},
+	OpUnreachable: {name: "unreachable", terminator: true, sideEffects: true},
+	OpInvoke:      {name: "invoke", terminator: true, sideEffects: true},
+	OpResume:      {name: "resume", terminator: true, sideEffects: true},
+	OpAdd:         {name: "add", commutative: true, binary: true},
+	OpSub:         {name: "sub", binary: true},
+	OpMul:         {name: "mul", commutative: true, binary: true},
+	OpSDiv:        {name: "sdiv", binary: true},
+	OpUDiv:        {name: "udiv", binary: true},
+	OpSRem:        {name: "srem", binary: true},
+	OpURem:        {name: "urem", binary: true},
+	OpShl:         {name: "shl", binary: true},
+	OpLShr:        {name: "lshr", binary: true},
+	OpAShr:        {name: "ashr", binary: true},
+	OpAnd:         {name: "and", commutative: true, binary: true},
+	OpOr:          {name: "or", commutative: true, binary: true},
+	OpXor:         {name: "xor", commutative: true, binary: true},
+	OpFAdd:        {name: "fadd", commutative: true, binary: true},
+	OpFSub:        {name: "fsub", binary: true},
+	OpFMul:        {name: "fmul", commutative: true, binary: true},
+	OpFDiv:        {name: "fdiv", binary: true},
+	OpICmp:        {name: "icmp"},
+	OpFCmp:        {name: "fcmp"},
+	OpAlloca:      {name: "alloca", sideEffects: true},
+	OpLoad:        {name: "load", sideEffects: true},
+	OpStore:       {name: "store", sideEffects: true},
+	OpGEP:         {name: "getelementptr"},
+	OpTrunc:       {name: "trunc", cast: true},
+	OpZExt:        {name: "zext", cast: true},
+	OpSExt:        {name: "sext", cast: true},
+	OpFPToSI:      {name: "fptosi", cast: true},
+	OpSIToFP:      {name: "sitofp", cast: true},
+	OpPtrToInt:    {name: "ptrtoint", cast: true},
+	OpIntToPtr:    {name: "inttoptr", cast: true},
+	OpBitcast:     {name: "bitcast", cast: true},
+	OpPhi:         {name: "phi"},
+	OpSelect:      {name: "select"},
+	OpCall:        {name: "call", sideEffects: true},
+	OpLandingPad:  {name: "landingpad", sideEffects: true},
+}
+
+// String returns the textual mnemonic of the opcode.
+func (op Opcode) String() string {
+	if op >= numOpcodes {
+		return "invalid"
+	}
+	return opcodeTable[op].name
+}
+
+// IsTerminator reports whether op ends a basic block.
+func (op Opcode) IsTerminator() bool { return opcodeTable[op].terminator }
+
+// IsCommutative reports whether the operands of op may be swapped without
+// changing its result.
+func (op Opcode) IsCommutative() bool { return opcodeTable[op].commutative }
+
+// HasSideEffects reports whether op may write memory, transfer control or
+// otherwise be observable; side-effect-free instructions with no uses are
+// dead.
+func (op Opcode) HasSideEffects() bool { return opcodeTable[op].sideEffects }
+
+// IsBinary reports whether op is a two-operand arithmetic/logic operation.
+func (op Opcode) IsBinary() bool { return opcodeTable[op].binary }
+
+// IsCast reports whether op is a conversion instruction.
+func (op Opcode) IsCast() bool { return opcodeTable[op].cast }
+
+// opcodeByName maps mnemonics back to opcodes (used by the parser).
+var opcodeByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, numOpcodes)
+	for op := Opcode(1); op < numOpcodes; op++ {
+		m[opcodeTable[op].name] = op
+	}
+	return m
+}()
+
+// OpcodeByName returns the opcode with the given mnemonic, or OpInvalid.
+func OpcodeByName(name string) Opcode { return opcodeByName[name] }
+
+// CmpPred is a comparison predicate for icmp and fcmp instructions.
+type CmpPred uint8
+
+// Comparison predicates. The O-prefixed predicates are the ordered
+// floating-point forms.
+const (
+	PredInvalid CmpPred = iota
+	PredEQ
+	PredNE
+	PredSLT
+	PredSLE
+	PredSGT
+	PredSGE
+	PredULT
+	PredULE
+	PredUGT
+	PredUGE
+	PredOEQ
+	PredONE
+	PredOLT
+	PredOLE
+	PredOGT
+	PredOGE
+)
+
+var predNames = map[CmpPred]string{
+	PredEQ: "eq", PredNE: "ne",
+	PredSLT: "slt", PredSLE: "sle", PredSGT: "sgt", PredSGE: "sge",
+	PredULT: "ult", PredULE: "ule", PredUGT: "ugt", PredUGE: "uge",
+	PredOEQ: "oeq", PredONE: "one", PredOLT: "olt", PredOLE: "ole",
+	PredOGT: "ogt", PredOGE: "oge",
+}
+
+// String returns the textual form of the predicate.
+func (p CmpPred) String() string {
+	if s, ok := predNames[p]; ok {
+		return s
+	}
+	return "invalidpred"
+}
+
+// PredByName returns the predicate with the given name, or PredInvalid.
+func PredByName(name string) CmpPred {
+	for p, s := range predNames {
+		if s == name {
+			return p
+		}
+	}
+	return PredInvalid
+}
+
+// IsEquality reports whether p is eq/ne (operand order irrelevant).
+func (p CmpPred) IsEquality() bool {
+	return p == PredEQ || p == PredNE || p == PredOEQ || p == PredONE
+}
+
+// Swapped returns the predicate obtained by swapping the comparison
+// operands (e.g. slt becomes sgt).
+func (p CmpPred) Swapped() CmpPred {
+	switch p {
+	case PredSLT:
+		return PredSGT
+	case PredSLE:
+		return PredSGE
+	case PredSGT:
+		return PredSLT
+	case PredSGE:
+		return PredSLE
+	case PredULT:
+		return PredUGT
+	case PredULE:
+		return PredUGE
+	case PredUGT:
+		return PredULT
+	case PredUGE:
+		return PredULE
+	case PredOLT:
+		return PredOGT
+	case PredOLE:
+		return PredOGE
+	case PredOGT:
+		return PredOLT
+	case PredOGE:
+		return PredOLE
+	default:
+		return p
+	}
+}

@@ -1,0 +1,51 @@
+package irtext
+
+// Fig2F1 and Fig2F2 are the motivating-example input functions of the
+// paper's Figure 2 (before register demotion), transcribed into the
+// textual IR dialect. They are used by tests and examples throughout the
+// repository.
+const Fig2F1 = `
+define i32 @F1(i32 %n) {
+l1:
+  %x1 = call i32 @start(i32 %n)
+  %x2 = icmp slt i32 %x1, 0
+  br i1 %x2, label %l2, label %l3
+l2:
+  %x3 = call i32 @body(i32 %x1)
+  br label %l4
+l3:
+  %x4 = call i32 @other(i32 %x1)
+  br label %l4
+l4:
+  %x5 = phi i32 [ %x3, %l2 ], [ %x4, %l3 ]
+  %x6 = call i32 @end(i32 %x5)
+  ret i32 %x6
+}
+`
+
+// Fig2F2 is the second input function of Figure 2.
+const Fig2F2 = `
+define i32 @F2(i32 %n) {
+l1:
+  %v1 = call i32 @start(i32 %n)
+  br label %l2
+l2:
+  %v2 = phi i32 [ %v1, %l1 ], [ %v4, %l3 ]
+  %v3 = icmp ne i32 %v2, 0
+  br i1 %v3, label %l3, label %l4
+l3:
+  %v4 = call i32 @body(i32 %v2)
+  br label %l2
+l4:
+  %v5 = call i32 @end(i32 %v2)
+  ret i32 %v5
+}
+`
+
+// Fig2Module is the two motivating functions in a single module.
+const Fig2Module = `
+declare i32 @start(i32)
+declare i32 @body(i32)
+declare i32 @other(i32)
+declare i32 @end(i32)
+` + Fig2F1 + Fig2F2

@@ -1,0 +1,334 @@
+// Package transform implements the scalar and CFG transformations the
+// merging pipeline depends on: register promotion (Mem2Reg, the standard
+// SSA construction algorithm), register demotion (RegToMem), clean-up
+// simplification and dead-code elimination.
+package transform
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// IsPromotable reports whether the alloca's value can be promoted to an
+// SSA register: every use must be a direct load from it or a store *to*
+// it (the address must not be stored, selected, passed or otherwise
+// escape). This is the criterion from the paper's Section 3: "to be
+// promotable, a stack location must be always used directly as the
+// immediate argument of the operations that access the location".
+func IsPromotable(alloca *ir.Instruction) bool {
+	if alloca.Op() != ir.OpAlloca {
+		return false
+	}
+	for _, u := range ir.UsesOf(alloca) {
+		switch u.User.Op() {
+		case ir.OpLoad:
+			// Always the pointer operand.
+		case ir.OpStore:
+			if u.Index != 1 {
+				return false // the address itself is being stored
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Mem2Reg promotes every promotable alloca in f to SSA registers using
+// phi placement on iterated dominance frontiers followed by dominator-
+// tree renaming (Cytron et al.), and returns the number of allocas
+// promoted. Loads with no reaching store yield undef.
+func Mem2Reg(f *ir.Function) int {
+	if f.IsDecl() {
+		return 0
+	}
+	var allocas []*ir.Instruction
+	f.Instrs(func(in *ir.Instruction) bool {
+		if in.Op() == ir.OpAlloca && IsPromotable(in) {
+			allocas = append(allocas, in)
+		}
+		return true
+	})
+	if len(allocas) == 0 {
+		return 0
+	}
+	dt := analysis.NewDomTree(f)
+	df := analysis.NewDomFrontier(dt)
+
+	index := make(map[*ir.Instruction]int, len(allocas))
+	for i, a := range allocas {
+		index[a] = i
+	}
+
+	// Remove loads/stores in unreachable blocks up front; renaming never
+	// visits them and they would keep the allocas alive.
+	for _, b := range f.Blocks {
+		if dt.IsReachable(b) {
+			continue
+		}
+		for _, in := range append([]*ir.Instruction(nil), b.Instrs()...) {
+			if _, ok := allocaAccess(in, index); ok {
+				if in.Op() == ir.OpLoad {
+					ir.ReplaceAllUsesWith(in, ir.NewUndef(in.Type()))
+				}
+				b.Erase(in)
+			}
+		}
+	}
+
+	// Phi placement at iterated dominance frontiers of the store blocks.
+	phiFor := map[*ir.Block]map[int]*ir.Instruction{} // block -> alloca index -> phi
+	for i, a := range allocas {
+		var defBlocks []*ir.Block
+		seen := map[*ir.Block]bool{}
+		for _, u := range ir.UsesOf(a) {
+			if u.User.Op() == ir.OpStore && !seen[u.User.Parent()] {
+				seen[u.User.Parent()] = true
+				defBlocks = append(defBlocks, u.User.Parent())
+			}
+		}
+		for _, b := range df.Iterated(defBlocks) {
+			if phiFor[b] == nil {
+				phiFor[b] = map[int]*ir.Instruction{}
+			}
+			phi := ir.NewPhi(a.Name(), a.AllocTy)
+			b.InsertAtFront(phi)
+			phiFor[b][i] = phi
+		}
+	}
+
+	// Renaming walk over the dominator tree.
+	type frame struct {
+		b        *ir.Block
+		incoming []ir.Value
+	}
+	undefs := make([]ir.Value, len(allocas))
+	for i, a := range allocas {
+		undefs[i] = ir.NewUndef(a.AllocTy)
+	}
+	stack := []frame{{b: f.Entry(), incoming: append([]ir.Value(nil), undefs...)}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		vals := fr.incoming
+		for i, phi := range phiFor[fr.b] {
+			vals[i] = phi
+		}
+		for _, in := range append([]*ir.Instruction(nil), fr.b.Instrs()...) {
+			i, ok := allocaAccess(in, index)
+			if !ok {
+				continue
+			}
+			switch in.Op() {
+			case ir.OpLoad:
+				ir.ReplaceAllUsesWith(in, vals[i])
+				fr.b.Erase(in)
+			case ir.OpStore:
+				vals[i] = in.Operand(0)
+				fr.b.Erase(in)
+			}
+		}
+		// Add successor phi edges once per predecessor block: a branch with
+		// both edges to the same block contributes a single incoming entry,
+		// matching Preds() dedup semantics.
+		seenSucc := map[*ir.Block]bool{}
+		for _, s := range fr.b.Succs() {
+			if seenSucc[s] {
+				continue
+			}
+			seenSucc[s] = true
+			for i, phi := range phiFor[s] {
+				phi.AddIncoming(vals[i], fr.b)
+			}
+		}
+		for _, child := range dt.Children(fr.b) {
+			stack = append(stack, frame{b: child, incoming: append([]ir.Value(nil), vals...)})
+		}
+	}
+
+	for _, a := range allocas {
+		a.Parent().Erase(a)
+	}
+	RemoveTrivialPhis(f)
+	return len(allocas)
+}
+
+// allocaAccess reports whether in is a load/store accessing one of the
+// tracked allocas, returning its index.
+func allocaAccess(in *ir.Instruction, index map[*ir.Instruction]int) (int, bool) {
+	switch in.Op() {
+	case ir.OpLoad:
+		if a, ok := in.Operand(0).(*ir.Instruction); ok {
+			i, ok := index[a]
+			return i, ok
+		}
+	case ir.OpStore:
+		if a, ok := in.Operand(1).(*ir.Instruction); ok {
+			i, ok := index[a]
+			return i, ok
+		}
+	}
+	return 0, false
+}
+
+// RemoveTrivialPhis repeatedly eliminates phis that are redundant:
+// every incoming value is either the phi itself, undef, or a single
+// common value v — the phi is replaced by v. Phis whose incomings are all
+// undef become undef. When undef edges were skipped, v must dominate the
+// phi for the replacement to preserve SSA dominance (cf. LLVM's
+// simplifyPHINode). Returns the number of phis removed.
+func RemoveTrivialPhis(f *ir.Function) int {
+	return RemoveTrivialPhisWithDom(f, nil)
+}
+
+// RemoveTrivialPhisWithDom is RemoveTrivialPhis reusing a caller-owned
+// dominator tree (phi removal never alters the CFG, so one tree can
+// serve many passes). Pass nil to build one lazily — only the rare
+// undef-refining fold needs dominance.
+func RemoveTrivialPhisWithDom(f *ir.Function, dt *analysis.DomTree) int {
+	removed := 0
+	domtree := func() *analysis.DomTree {
+		if dt == nil {
+			dt = analysis.NewDomTree(f)
+		}
+		return dt
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			for _, phi := range append([]*ir.Instruction(nil), b.Phis()...) {
+				var unique ir.Value
+				trivial := true
+				sawUndef := false
+				for i := 0; i < phi.NumIncoming(); i++ {
+					v := phi.IncomingValue(i)
+					if v == ir.Value(phi) {
+						continue
+					}
+					if _, isUndef := v.(*ir.Undef); isUndef {
+						sawUndef = true
+						continue
+					}
+					if unique == nil {
+						unique = v
+					} else if !ir.ValuesEqual(unique, v) {
+						trivial = false
+						break
+					}
+				}
+				if !trivial {
+					continue
+				}
+				if unique == nil {
+					unique = ir.NewUndef(phi.Type())
+				}
+				if sawUndef {
+					// With undef edges ignored, v reaches the phi on only some
+					// paths; replacing is sound (undef may be anything) but only
+					// legal when v's definition dominates the phi.
+					if def, ok := unique.(*ir.Instruction); ok {
+						if def.Parent() == b {
+							if def.Op() != ir.OpPhi {
+								continue
+							}
+						} else if !domtree().StrictlyDominates(def.Parent(), b) {
+							continue
+						}
+					}
+				}
+				ir.ReplaceAllUsesWith(phi, unique)
+				b.Erase(phi)
+				removed++
+				changed = true
+			}
+		}
+	}
+	return removed
+}
+
+// RemoveDuplicatePhis merges phis within a block that are identical up
+// to undef refinement: where one phi has undef for an incoming edge and
+// the other has a concrete value, the concrete value wins (refining an
+// undef is always sound). The paper relies on this clean-up to merge the
+// identical phi-nodes that SalSSA copies from both input functions; the
+// undef refinement additionally collapses the phis introduced by SSA
+// repair into the copied phis they duplicate. Returns the number of phis
+// removed.
+func RemoveDuplicatePhis(f *ir.Function) int {
+	removed := 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			phis := append([]*ir.Instruction(nil), b.Phis()...)
+			for i := 0; i < len(phis); i++ {
+				if phis[i].Parent() == nil {
+					continue
+				}
+				for j := i + 1; j < len(phis); j++ {
+					if phis[j].Parent() == nil {
+						continue
+					}
+					if mergePhiPair(b, phis[i], phis[j]) {
+						removed++
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return removed
+}
+
+// mergePhiPair merges redundant phis. Two phis merge when one refines
+// the other *one-directionally*: every incoming of the weaker phi either
+// equals the stronger phi's incoming or is undef. Bidirectional
+// refinement (each phi concrete where the other is undef) is
+// deliberately NOT performed here — that transformation is exactly
+// phi-node coalescing, the paper's §4.4 optimisation, owned by the
+// SalSSA generator so that the SalSSA-NoPC ablation stays meaningful.
+func mergePhiPair(blk *ir.Block, a, b *ir.Instruction) bool {
+	if !ir.TypesEqual(a.Type(), b.Type()) || a.NumIncoming() != b.NumIncoming() {
+		return false
+	}
+	aWeaker, bWeaker := true, true
+	for i := 0; i < a.NumIncoming(); i++ {
+		bv, ok := b.IncomingFor(a.IncomingBlock(i))
+		if !ok {
+			return false
+		}
+		av := a.IncomingValue(i)
+		switch {
+		case ir.ValuesEqual(av, bv):
+		case (av == ir.Value(b) && bv == ir.Value(a)) ||
+			(av == ir.Value(a) && bv == ir.Value(b)):
+			// mutually/self recursive duplicates
+		case isUndef(av):
+			bWeaker = false
+		case isUndef(bv):
+			aWeaker = false
+		default:
+			return false
+		}
+		if !aWeaker && !bWeaker {
+			return false
+		}
+	}
+	weak, strong := b, a
+	if !bWeaker {
+		weak, strong = a, b
+	}
+	// Collapse self/mutual references through the erased phi.
+	for i := 0; i < strong.NumIncoming(); i++ {
+		if strong.IncomingValue(i) == ir.Value(weak) {
+			strong.SetIncomingValue(i, strong)
+		}
+	}
+	ir.ReplaceAllUsesWith(weak, strong)
+	blk.Erase(weak)
+	return true
+}
+
+func isUndef(v ir.Value) bool {
+	_, ok := v.(*ir.Undef)
+	return ok
+}

@@ -1,0 +1,168 @@
+package transform
+
+import (
+	"repro/internal/ir"
+)
+
+// RegToMem performs register demotion, mirroring LLVM's -reg2mem pass
+// that FMSA applies before merging: every SSA value that escapes its
+// defining block is spilled to a fresh stack slot (store after the
+// definition, a load immediately before each use), and every phi-node is
+// replaced by stores in its predecessors and loads at its uses. The
+// result contains no phi-nodes and no cross-block SSA values other than
+// the inserted allocas. Returns the number of values demoted.
+//
+// As the paper's Figure 5 shows, this roughly 1.75×es function size,
+// which is precisely the pathology SalSSA removes.
+func RegToMem(f *ir.Function) int {
+	if f.IsDecl() {
+		return 0
+	}
+	demoted := 0
+	// Pass 1: demote non-phi instructions whose value escapes the
+	// defining block or feeds a phi.
+	var escaping []*ir.Instruction
+	f.Instrs(func(in *ir.Instruction) bool {
+		if in.Op() != ir.OpPhi && valueEscapes(in) {
+			escaping = append(escaping, in)
+		}
+		return true
+	})
+	for _, in := range escaping {
+		demoteRegToStack(f, in)
+		demoted++
+	}
+	// Pass 2: demote all phi-nodes.
+	var phis []*ir.Instruction
+	f.Instrs(func(in *ir.Instruction) bool {
+		if in.Op() == ir.OpPhi {
+			phis = append(phis, in)
+		}
+		return true
+	})
+	for _, phi := range phis {
+		demotePhiToStack(f, phi)
+		demoted++
+	}
+	return demoted
+}
+
+// valueEscapes reports whether in's value is used outside its defining
+// block or by any phi (phi uses are effectively at the end of the
+// incoming block).
+func valueEscapes(in *ir.Instruction) bool {
+	for _, u := range ir.UsesOf(in) {
+		if u.User.Parent() != in.Parent() || u.User.Op() == ir.OpPhi {
+			return true
+		}
+	}
+	return false
+}
+
+// demoteRegToStack spills in to a new entry-block alloca: one store after
+// the definition and one load per use, placed immediately before the
+// user (or at the end of the incoming block for phi users). Mirrors
+// LLVM's DemoteRegToStack.
+func demoteRegToStack(f *ir.Function, in *ir.Instruction) *ir.Instruction {
+	slot := ir.NewAlloca(in.Name()+".slot", in.Type())
+	f.Entry().InsertAtFront(slot)
+
+	// The result of an invoke is only defined on the normal edge; split
+	// that edge up front so the store (at the top of the new block)
+	// precedes any loads inserted for phi users on the same edge.
+	var storeBlock *ir.Block
+	if in.Op() == ir.OpInvoke {
+		storeBlock = SplitInvokeNormalEdge(in)
+	} else if in.IsTerminator() {
+		panic("transform: demoting a terminator value")
+	}
+
+	// Rewrite uses (inserting a fresh load per use) before creating the
+	// store so the store operand is not itself rewritten.
+	for _, u := range append([]ir.Use(nil), ir.UsesOf(in)...) {
+		ld := ir.NewLoad(in.Name()+".reload", slot)
+		if u.User.Op() == ir.OpPhi {
+			pred := u.User.IncomingBlock(u.Index / 2)
+			pred.InsertBefore(ld, pred.Term())
+		} else {
+			u.User.Parent().InsertBefore(ld, u.User)
+		}
+		u.User.SetOperand(u.Index, ld)
+	}
+
+	st := ir.NewStore(in, slot)
+	if storeBlock != nil {
+		storeBlock.InsertAtFront(st)
+	} else {
+		in.Parent().InsertAfter(st, in)
+	}
+	return slot
+}
+
+// demotePhiToStack replaces phi with a stack slot: each incoming value is
+// stored at the end of its predecessor, and each use of the phi loads
+// from the slot. Mirrors LLVM's DemotePHIToStack, except that loads are
+// materialised per use (keeping all values block-local, as in the
+// paper's Figure 4).
+func demotePhiToStack(f *ir.Function, phi *ir.Instruction) *ir.Instruction {
+	slot := ir.NewAlloca(phi.Name()+".slot", phi.Type())
+	f.Entry().InsertAtFront(slot)
+
+	for i := 0; i < phi.NumIncoming(); i++ {
+		pred := phi.IncomingBlock(i)
+		st := ir.NewStore(phi.IncomingValue(i), slot)
+		pred.InsertBefore(st, pred.Term())
+	}
+	for _, u := range append([]ir.Use(nil), ir.UsesOf(phi)...) {
+		ld := ir.NewLoad(phi.Name()+".reload", slot)
+		if u.User.Op() == ir.OpPhi {
+			pred := u.User.IncomingBlock(u.Index / 2)
+			pred.InsertBefore(ld, pred.Term())
+		} else {
+			u.User.Parent().InsertBefore(ld, u.User)
+		}
+		u.User.SetOperand(u.Index, ld)
+	}
+	phi.Parent().Erase(phi)
+	return slot
+}
+
+// SplitInvokeNormalEdge inserts a new block on the normal edge of an
+// invoke and returns it. Phis in the old destination are retargeted.
+func SplitInvokeNormalEdge(inv *ir.Instruction) *ir.Block {
+	src := inv.Parent()
+	dest := inv.NormalDest()
+	f := src.Parent()
+	mid := ir.NewBlock(src.Name() + ".normal")
+	f.AddBlock(mid)
+	mid.Append(ir.NewBr(dest))
+	// Retarget the invoke's normal label (second-to-last operand).
+	inv.SetOperand(inv.NumOperands()-2, mid)
+	for _, phi := range dest.Phis() {
+		for i := 0; i < phi.NumIncoming(); i++ {
+			if phi.IncomingBlock(i) == src {
+				phi.SetIncomingBlock(i, mid)
+			}
+		}
+	}
+	return mid
+}
+
+// SplitEdge splits the CFG edge from pred to succ (all label operands of
+// pred's terminator equal to succ are retargeted) and returns the new
+// intermediate block.
+func SplitEdge(pred, succ *ir.Block) *ir.Block {
+	f := pred.Parent()
+	mid := ir.NewBlock(pred.Name() + "." + succ.Name())
+	f.AddBlock(mid)
+	mid.Append(ir.NewBr(succ))
+	pred.Term().ReplaceSuccessor(succ, mid)
+	for _, phi := range succ.Phis() {
+		for i := 0; i < phi.NumIncoming(); i++ {
+			if phi.IncomingBlock(i) == pred {
+				phi.SetIncomingBlock(i, mid)
+			}
+		}
+	}
+	return mid
+}

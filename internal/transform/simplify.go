@@ -1,0 +1,361 @@
+package transform
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// Simplify runs the post-merge clean-up pipeline on f until fixpoint:
+// constant folding, terminator folding, unreachable-block elimination,
+// trivial/duplicate phi removal, straight-line block merging, empty
+// block forwarding and dead-code elimination. This corresponds to the
+// "Simplification" stage of the paper's Figure 1. Returns the total
+// number of changes applied.
+func Simplify(f *ir.Function) int {
+	if f.IsDecl() {
+		return 0
+	}
+	total := 0
+	for {
+		n := 0
+		n += FoldInstructions(f)
+		n += FoldTerminators(f)
+		n += RemoveUnreachable(f)
+		n += foldSinglePredPhis(f)
+		n += RemoveTrivialPhis(f)
+		n += RemoveDuplicatePhis(f)
+		n += MergeStraightLineBlocks(f)
+		n += ForwardEmptyBlocks(f)
+		n += DCE(f)
+		total += n
+		if n == 0 {
+			return total
+		}
+	}
+}
+
+// SimplifyModule runs Simplify over every defined function.
+func SimplifyModule(m *ir.Module) int {
+	total := 0
+	for _, f := range m.Funcs {
+		total += Simplify(f)
+	}
+	return total
+}
+
+// FoldInstructions applies constant folding and algebraic simplification
+// to every instruction, replacing folded instructions with their values.
+func FoldInstructions(f *ir.Function) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range append([]*ir.Instruction(nil), b.Instrs()...) {
+			if v := foldConstExpr(in); v != nil {
+				ir.ReplaceAllUsesWith(in, v)
+				b.Erase(in)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// FoldTerminators rewrites conditional branches on constants (or with
+// identical targets) into unconditional branches, and switches on
+// constants into unconditional branches. Phi edges in abandoned targets
+// are updated.
+func FoldTerminators(f *ir.Function) int {
+	n := 0
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		switch {
+		case t.IsCondBr():
+			ifTrue := t.Operand(1).(*ir.Block)
+			ifFalse := t.Operand(2).(*ir.Block)
+			var keep *ir.Block
+			if ifTrue == ifFalse {
+				keep = ifTrue
+			} else if c, ok := t.Operand(0).(*ir.ConstInt); ok {
+				if c.IsZero() {
+					keep = ifFalse
+				} else {
+					keep = ifTrue
+				}
+			}
+			if keep == nil {
+				continue
+			}
+			b.Erase(t)
+			b.Append(ir.NewBr(keep))
+			removePhiEdgesFromNonPred(b, ifTrue, ifFalse)
+			n++
+		case t.Op() == ir.OpSwitch:
+			c, ok := t.Operand(0).(*ir.ConstInt)
+			if !ok {
+				continue
+			}
+			dest := t.Operand(1).(*ir.Block) // default
+			var abandoned []*ir.Block
+			for _, cs := range t.SwitchCases() {
+				abandoned = append(abandoned, cs.Dest)
+				if cs.Val.V == c.V {
+					dest = cs.Dest
+				}
+			}
+			abandoned = append(abandoned, t.Operand(1).(*ir.Block))
+			b.Erase(t)
+			b.Append(ir.NewBr(dest))
+			removePhiEdgesFromNonPred(b, abandoned...)
+			n++
+		}
+	}
+	return n
+}
+
+// removePhiEdgesFromNonPred removes phi incoming entries for b in each
+// candidate block that is no longer a successor of b.
+func removePhiEdgesFromNonPred(b *ir.Block, candidates ...*ir.Block) {
+	for _, c := range candidates {
+		if c.HasPred(b) {
+			continue
+		}
+		for _, phi := range c.Phis() {
+			phi.RemoveIncomingFor(b)
+		}
+	}
+}
+
+// RemoveUnreachable deletes blocks not reachable from the entry,
+// updating phis in reachable blocks.
+func RemoveUnreachable(f *ir.Function) int {
+	reach := analysis.Reachable(f)
+	if len(reach) == len(f.Blocks) {
+		return 0
+	}
+	var dead []*ir.Block
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			dead = append(dead, b)
+		}
+	}
+	// Drop phi edges coming from dead blocks.
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, phi := range b.Phis() {
+			for i := phi.NumIncoming() - 1; i >= 0; i-- {
+				if !reach[phi.IncomingBlock(i)] {
+					phi.RemoveIncoming(i)
+				}
+			}
+		}
+	}
+	// Erase dead blocks as a group; values defined in them can only be
+	// used inside the group (dominance), so group erasure is safe.
+	f.EraseBlocks(dead)
+	// Phis in blocks that just lost predecessors may now be trivial.
+	RemoveTrivialPhis(f)
+	return len(dead)
+}
+
+// foldSinglePredPhis replaces phis in blocks with exactly one predecessor
+// by their single incoming value.
+func foldSinglePredPhis(f *ir.Function) int {
+	n := 0
+	for _, b := range f.Blocks {
+		if len(b.Preds()) != 1 {
+			continue
+		}
+		for _, phi := range append([]*ir.Instruction(nil), b.Phis()...) {
+			if phi.NumIncoming() == 1 {
+				ir.ReplaceAllUsesWith(phi, phi.IncomingValue(0))
+				b.Erase(phi)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MergeStraightLineBlocks merges each block pair (B, S) where B's only
+// exit is an unconditional branch to S and B is S's only predecessor.
+func MergeStraightLineBlocks(f *ir.Function) int {
+	n := 0
+	// The merging code generators emit one block per aligned entry, so
+	// whole chains collapse here; after absorbing a successor the same
+	// block is retried immediately, keeping the pass linear in the chain
+	// length instead of one outer pass per merged block.
+	for i := 0; i < len(f.Blocks); i++ {
+		b := f.Blocks[i]
+		for {
+			t := b.Term()
+			if t == nil || t.Op() != ir.OpBr || t.IsCondBr() {
+				break
+			}
+			s := t.Operand(0).(*ir.Block)
+			if s == b || s.IsEntry() {
+				break
+			}
+			preds := s.Preds()
+			if len(preds) != 1 || preds[0] != b {
+				break
+			}
+			if lp := s.FirstNonPhi(); lp != nil && lp.Op() == ir.OpLandingPad {
+				break // landingpad blocks must remain invoke targets
+			}
+			// Single-pred phis in S fold to their incoming value.
+			for _, phi := range append([]*ir.Instruction(nil), s.Phis()...) {
+				ir.ReplaceAllUsesWith(phi, phi.IncomingValue(0))
+				s.Erase(phi)
+			}
+			b.Erase(t)
+			for _, in := range append([]*ir.Instruction(nil), s.Instrs()...) {
+				s.Remove(in)
+				b.Append(in)
+			}
+			// Successor phis referencing S now flow from B.
+			for _, u := range append([]ir.Use(nil), ir.UsesOf(s)...) {
+				u.User.SetOperand(u.Index, b)
+			}
+			f.EraseBlock(s)
+			n++
+			if i >= len(f.Blocks) || f.Blocks[i] != b {
+				i-- // erasing s before b shifted b one slot left
+			}
+		}
+	}
+	return n
+}
+
+// ForwardEmptyBlocks removes blocks that contain only an unconditional
+// branch by retargeting their predecessors directly to the destination
+// (LLVM's TryToSimplifyUncondBranchFromEmptyBlock). A block is kept when
+// forwarding would create conflicting phi edges in the destination.
+func ForwardEmptyBlocks(f *ir.Function) int {
+	n := 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			if b.IsEntry() || b.Len() != 1 {
+				continue
+			}
+			t := b.Term()
+			if t == nil || t.Op() != ir.OpBr || t.IsCondBr() {
+				continue
+			}
+			dest := t.Operand(0).(*ir.Block)
+			if dest == b {
+				continue
+			}
+			if !canForwardEmptyBlock(b, dest) {
+				continue
+			}
+			// Fix dest phis: the value that flowed through b now flows
+			// directly from each of b's predecessors.
+			preds := b.Preds()
+			for _, phi := range dest.Phis() {
+				v, ok := phi.IncomingFor(b)
+				if !ok {
+					continue
+				}
+				phi.RemoveIncomingFor(b)
+				for _, p := range preds {
+					if _, dup := phi.IncomingFor(p); !dup {
+						phi.AddIncoming(v, p)
+					}
+				}
+			}
+			for _, p := range preds {
+				p.Term().ReplaceSuccessor(b, dest)
+			}
+			// Phi uses of b's label from other blocks (b had no phis itself,
+			// but other blocks' phis may name b as incoming).
+			if ir.HasUses(b) {
+				// Remaining uses must be phis in dest already handled, or
+				// invoke-style references; bail out conservatively.
+				continue
+			}
+			f.EraseBlock(b)
+			n++
+			changed = true
+		}
+	}
+	return n
+}
+
+// canForwardEmptyBlock checks that retargeting all of b's predecessors
+// to dest keeps dest's phis consistent.
+func canForwardEmptyBlock(b, dest *ir.Block) bool {
+	preds := b.Preds()
+	if len(preds) == 0 {
+		return false
+	}
+	for _, p := range preds {
+		// An invoke's unwind edge must keep pointing at a landingpad
+		// block; forwarding through b is fine only if dest starts with the
+		// landingpad, which MergeStraightLineBlocks handles instead.
+		if p.Term().Op() == ir.OpInvoke {
+			return false
+		}
+	}
+	for _, phi := range dest.Phis() {
+		vb, ok := phi.IncomingFor(b)
+		if !ok {
+			return false // inconsistent phi; leave alone
+		}
+		for _, p := range preds {
+			if vp, already := phi.IncomingFor(p); already && !ir.ValuesEqual(vp, vb) {
+				return false
+			}
+		}
+	}
+	// If a phi in some OTHER successor-of-pred block lists b, retargeting
+	// would break it; b has exactly one successor so only dest's phis can
+	// reference it as an incoming block — except phis that kept a stale
+	// reference. Check all phi uses of b are from dest.
+	for _, u := range ir.UsesOf(b) {
+		if u.User.Op() == ir.OpPhi && u.User.Parent() != dest {
+			return false
+		}
+	}
+	return true
+}
+
+// DCE erases instructions whose results are unused and whose execution
+// has no observable effect (including unused loads, allocas, phis and
+// pure arithmetic). Returns the number of instructions removed.
+func DCE(f *ir.Function) int {
+	n := 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			instrs := b.Instrs()
+			for i := len(instrs) - 1; i >= 0; i-- {
+				in := instrs[i]
+				if ir.HasUses(in) || !isRemovable(in) {
+					continue
+				}
+				b.Erase(in)
+				instrs = b.Instrs()
+				n++
+				changed = true
+			}
+		}
+	}
+	return n
+}
+
+// isRemovable reports whether an unused in can be deleted.
+func isRemovable(in *ir.Instruction) bool {
+	switch in.Op() {
+	case ir.OpLoad, ir.OpAlloca, ir.OpPhi, ir.OpSelect, ir.OpGEP, ir.OpICmp, ir.OpFCmp:
+		return true
+	case ir.OpStore, ir.OpCall, ir.OpInvoke, ir.OpLandingPad, ir.OpResume:
+		return false
+	default:
+		return !in.IsTerminator()
+	}
+}

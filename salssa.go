@@ -1,0 +1,131 @@
+// Package repro is SalSSA: function merging in the SSA form (Rocha,
+// Petoumenos, Wang, Cole, Leather — "Effective Function Merging in the
+// SSA Form", PLDI 2020), reimplemented as a self-contained Go library.
+//
+// The package is a facade over the implementation:
+//
+//   - ParseModule / FormatModule: the textual IR (an LLVM-like dialect);
+//   - MergeFunctions: merge one pair with SalSSA (or the FMSA baseline)
+//     and inspect the generator's statistics;
+//   - OptimizeModule: the whole-module pipeline — candidate ranking,
+//     pairwise merging, the profitability cost model, thunk creation;
+//   - EstimateSize: the per-target object-size model used to decide
+//     profitability and to report reductions.
+//
+// See examples/ for runnable end-to-end programs and DESIGN.md for the
+// system inventory.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/driver"
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/transform"
+)
+
+// Re-exported substrate types. The ir package is internal; these aliases
+// are the supported public surface.
+type (
+	// Module is a translation unit of IR functions and globals.
+	Module = ir.Module
+	// Function is an IR function.
+	Function = ir.Function
+	// MergeStats reports what the SalSSA code generator did for a pair.
+	MergeStats = core.Stats
+	// Report is the outcome of a whole-module merging run.
+	Report = driver.Result
+	// MergeRecord describes one committed merge within a Report.
+	MergeRecord = driver.MergeRecord
+)
+
+// Algorithm selects the merging technique.
+type Algorithm = driver.Algorithm
+
+// Supported merging algorithms.
+const (
+	// SalSSA is the paper's technique (phi-node support, dominance
+	// repair, phi-node coalescing, xor-branch rewriting).
+	SalSSA = driver.SalSSA
+	// SalSSANoPC is SalSSA without phi-node coalescing.
+	SalSSANoPC = driver.SalSSANoPC
+	// FMSA is the CGO'19 baseline (register demotion + promotion).
+	FMSA = driver.FMSA
+)
+
+// Target selects the object-size model.
+type Target = costmodel.Target
+
+// Size-model targets.
+const (
+	// X86_64 models the paper's SPEC experiments.
+	X86_64 = costmodel.X86_64
+	// Thumb models the paper's MiBench experiments.
+	Thumb = costmodel.Thumb
+)
+
+// Options configures OptimizeModule.
+type Options struct {
+	// Algorithm is the merging technique (default SalSSA).
+	Algorithm Algorithm
+	// Threshold is the exploration threshold t: how many ranked
+	// candidate partners are tried per function (default 1).
+	Threshold int
+	// Target selects the size model (default X86_64).
+	Target Target
+}
+
+// ParseModule parses the textual IR dialect.
+func ParseModule(src string) (*Module, error) { return irtext.Parse(src) }
+
+// FormatModule renders a module in the textual IR dialect.
+func FormatModule(m *Module) string { return m.String() }
+
+// VerifyModule checks structural and SSA well-formedness of every
+// function in m.
+func VerifyModule(m *Module) error { return ir.VerifyModule(m) }
+
+// EstimateSize returns the estimated object size of m in bytes for the
+// target.
+func EstimateSize(m *Module, target Target) int {
+	return costmodel.ModuleBytes(m, target)
+}
+
+// OptimizeModule runs function merging over m in place and returns the
+// report (committed merges, size reduction, phase timings).
+func OptimizeModule(m *Module, opts Options) *Report {
+	if opts.Threshold <= 0 {
+		opts.Threshold = 1
+	}
+	return driver.Run(m, driver.Config{
+		Algorithm: opts.Algorithm,
+		Threshold: opts.Threshold,
+		Target:    opts.Target,
+	})
+}
+
+// MergeFunctions merges the two named functions of m with SalSSA,
+// unconditionally (no profitability check), and replaces the originals
+// with forwarding thunks. It returns the merged function and the
+// generator statistics.
+func MergeFunctions(m *Module, name1, name2 string) (*Function, *MergeStats, error) {
+	f1, f2 := m.FuncByName(name1), m.FuncByName(name2)
+	if f1 == nil || f2 == nil {
+		return nil, nil, fmt.Errorf("repro: function %q or %q not found", name1, name2)
+	}
+	plan, err := core.PlanParams(f1, f2)
+	if err != nil {
+		return nil, nil, err
+	}
+	merged, stats, err := core.Merge(m, f1, f2, "merged."+name1+"."+name2, core.DefaultOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	transform.Simplify(merged)
+	core.BuildThunk(f1, merged, true, plan.Map1, plan)
+	core.BuildThunk(f2, merged, false, plan.Map2, plan)
+	return merged, stats, nil
+}
