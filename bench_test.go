@@ -13,6 +13,7 @@ package repro
 
 import (
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -171,20 +172,36 @@ func BenchmarkMem2Reg(b *testing.B) {
 	}
 }
 
-// BenchmarkModulePipeline measures the full driver on a mid-size module.
-func BenchmarkModulePipeline(b *testing.B) {
-	base := synth.Generate(synth.Profile{
+// pipelineModule is the shared input of the whole-module pipeline
+// benchmarks (serial vs parallel planning).
+func pipelineModule() *ir.Module {
+	return synth.Generate(synth.Profile{
 		Name: "pipe", Seed: 3, Funcs: 60,
 		MinSize: 8, AvgSize: 50, MaxSize: 200,
 		CloneFrac: 0.4, FamilySize: 2, MutRate: 0.05, Loops: 0.5,
 	})
+}
+
+func benchModulePipeline(b *testing.B, jobs int) {
+	base := pipelineModule()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		m := ir.CloneModule(base)
 		b.StartTimer()
-		driver.Run(m, driver.Config{Algorithm: driver.SalSSA, Threshold: 1, Target: costmodel.X86_64})
+		driver.Run(m, driver.Config{Algorithm: driver.SalSSA, Threshold: 1,
+			Target: costmodel.X86_64, Parallelism: jobs})
 	}
+}
+
+// BenchmarkModulePipeline measures the full driver on a mid-size module.
+func BenchmarkModulePipeline(b *testing.B) { benchModulePipeline(b, 1) }
+
+// BenchmarkModulePipelineParallel is the same pipeline with the planning
+// stage fanned out over all CPUs; the committed merge set is identical,
+// so the delta against BenchmarkModulePipeline is pure planning speedup.
+func BenchmarkModulePipelineParallel(b *testing.B) {
+	benchModulePipeline(b, runtime.NumCPU())
 }
 
 // BenchmarkParsePrint round-trips the textual IR.

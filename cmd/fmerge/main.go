@@ -3,18 +3,46 @@
 // Usage:
 //
 //	fmerge [-algo salssa|salssa-nopc|fmsa] [-t N] [-target x86-64|thumb]
+//	       [-linear-align] [-max-cells N] [-min-instrs N]
+//	       [-skip-hot f1,f2,...] [-jobs N] [-v]
 //	       [-print] [-pair f1,f2] file.ll
 //
 // Without -pair, the whole-module pipeline runs (ranking + cost model);
-// with -pair, the named functions are merged unconditionally. -print
-// writes the resulting module to stdout; statistics go to stderr.
+// with -pair, the named functions are merged unconditionally by the
+// SalSSA generator (combining -pair with -algo fmsa is rejected: FMSA
+// merges need whole-module register demotion). -print writes the
+// resulting module to stdout; statistics go to stderr.
+//
+// Pipeline knobs:
+//
+//	-t N            exploration threshold: ranked candidates tried per
+//	                function (paper uses 1, 5, 10)
+//	-linear-align   Hirschberg linear-space alignment: same merges in
+//	                O(n+m) memory for roughly twice the time
+//	-max-cells N    skip pairs whose alignment matrix would exceed N
+//	                cells (0 = unlimited)
+//	-min-instrs N   ignore functions smaller than N instructions
+//	-skip-hot list  comma-separated functions excluded from merging
+//	                (the paper's §5.7 hot-path remedy)
+//	-jobs N         plan candidate merges with N parallel workers
+//	                (0 = all CPUs); the committed merges are identical
+//	                to a serial run
+//	-v              report per-stage progress on stderr
+//
+// Interrupting fmerge (SIGINT/SIGTERM) cancels the pipeline cleanly:
+// already-committed merges are kept, the module still verifies, and the
+// (partial) result is still reported/printed — but fmerge exits nonzero
+// so scripts can tell a truncated run from a complete one.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	repro "repro"
 )
@@ -23,8 +51,14 @@ func main() {
 	algo := flag.String("algo", "salssa", "merging algorithm: salssa, salssa-nopc or fmsa")
 	threshold := flag.Int("t", 1, "exploration threshold (candidates tried per function)")
 	target := flag.String("target", "x86-64", "size-model target: x86-64 or thumb")
+	linearAlign := flag.Bool("linear-align", false, "use Hirschberg linear-space alignment")
+	maxCells := flag.Int64("max-cells", 0, "skip pairs whose alignment matrix exceeds N cells (0 = unlimited)")
+	minInstrs := flag.Int("min-instrs", 0, "ignore functions smaller than N instructions")
+	skipHot := flag.String("skip-hot", "", "comma-separated functions excluded from merging")
+	jobs := flag.Int("jobs", 1, "parallel planning workers (0 = all CPUs)")
+	verbose := flag.Bool("v", false, "report per-stage progress on stderr")
 	print := flag.Bool("print", false, "print the resulting module to stdout")
-	pair := flag.String("pair", "", "merge exactly this comma-separated function pair")
+	pair := flag.String("pair", "", "merge exactly this comma-separated function pair, unconditionally (SalSSA variants only)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fmerge [flags] file.ll")
@@ -60,13 +94,48 @@ func main() {
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
 
+	opts := []repro.Option{
+		repro.WithAlgorithm(alg),
+		repro.WithThreshold(*threshold),
+		repro.WithTarget(tgt),
+		repro.WithLinearAlign(*linearAlign),
+		repro.WithMaxCells(*maxCells),
+		repro.WithMinInstrs(*minInstrs),
+		repro.WithParallelism(*jobs),
+	}
+	if *skipHot != "" {
+		opts = append(opts, repro.WithSkipHot(strings.Split(*skipHot, ",")...))
+	}
+	if *verbose {
+		opts = append(opts, repro.WithProgress(func(ev repro.Progress) {
+			switch ev.Stage {
+			case repro.StagePlan:
+				fmt.Fprintf(os.Stderr, "plan   [%d/%d] @%s + @%s\n", ev.Done, ev.Total, ev.F1, ev.F2)
+			case repro.StageCommit:
+				fmt.Fprintf(os.Stderr, "commit [%d] @%s + @%s -> @%s (profit %d)\n",
+					ev.Done, ev.F1, ev.F2, ev.Merged, ev.Profit)
+			}
+		}))
+	}
+	opt, err := repro.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	before := repro.EstimateSize(m, tgt)
+	var runErr error
 	if *pair != "" {
 		names := strings.SplitN(*pair, ",", 2)
 		if len(names) != 2 {
 			fatal(fmt.Errorf("-pair wants f1,f2"))
 		}
-		merged, stats, err := repro.MergeFunctions(m, names[0], names[1])
+		merged, stats, err := opt.MergePair(ctx, m, names[0], names[1])
+		// As in the module branch: let a second interrupt kill the
+		// process during output.
+		stop()
 		if err != nil {
 			fatal(err)
 		}
@@ -75,9 +144,20 @@ func main() {
 			stats.Matches, stats.InstrMatches, stats.Selects, stats.LabelSelections, stats.XorRewrites)
 		fmt.Fprintf(os.Stderr, "  repaired defs=%d, coalesced pairs=%d\n", stats.RepairedDefs, stats.CoalescedPairs)
 	} else {
-		rep := repro.OptimizeModule(m, repro.Options{Algorithm: alg, Threshold: *threshold, Target: tgt})
-		fmt.Fprintf(os.Stderr, "%s[t=%d]: %d merges committed, %d attempts\n",
+		rep, err := opt.Optimize(ctx, m)
+		// Restore default signal behaviour: a second interrupt during the
+		// module print below kills the process instead of being swallowed.
+		stop()
+		if err != nil {
+			runErr = err
+			fmt.Fprintf(os.Stderr, "fmerge: pipeline stopped early: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "%s[t=%d]: %d merges committed, %d attempts",
 			alg, *threshold, len(rep.Merges), rep.Attempts)
+		if rep.Planned > 0 {
+			fmt.Fprintf(os.Stderr, " (%d trials planned in parallel)", rep.Planned)
+		}
+		fmt.Fprintln(os.Stderr)
 		for _, rec := range rep.Merges {
 			status := "committed"
 			if !rec.Committed {
@@ -94,6 +174,11 @@ func main() {
 		before, after, 100*float64(before-after)/float64(before), tgt)
 	if *print {
 		fmt.Print(repro.FormatModule(m))
+	}
+	// A cancelled pipeline printed a valid but partial result; exit
+	// nonzero so scripts do not mistake it for a complete run.
+	if runErr != nil {
+		os.Exit(1)
 	}
 }
 

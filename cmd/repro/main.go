@@ -3,18 +3,23 @@
 //
 // Usage:
 //
-//	repro [-scale N] all            # every experiment, paper order
-//	repro [-scale N] fig17a fig22   # selected experiments
-//	repro list                      # available experiment ids
+//	repro [-scale N] [-jobs N] all            # every experiment, paper order
+//	repro [-scale N] [-jobs N] fig17a fig22   # selected experiments
+//	repro list                                # available experiment ids
 //
 // -scale divides the suite sizes for quick runs (the committed
-// EXPERIMENTS.md numbers use -scale 1).
+// EXPERIMENTS.md numbers use -scale 1). -jobs plans candidate merges
+// with N parallel workers (0 = all CPUs); the merge decisions — and so
+// every size figure — are identical to a serial run, but keep -jobs 1
+// when regenerating the timing figures (23, 24) so the phase timers
+// measure the serial pipeline the paper describes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,10 +28,14 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "divide benchmark sizes by N for quicker runs")
+	jobs := flag.Int("jobs", 1, "parallel planning workers (0 = all CPUs)")
 	flag.Parse()
+	if *jobs == 0 {
+		*jobs = runtime.NumCPU()
+	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: repro [-scale N] all | list | <experiment>...")
+		fmt.Fprintln(os.Stderr, "usage: repro [-scale N] [-jobs N] all | list | <experiment>...")
 		fmt.Fprintln(os.Stderr, "experiments:", strings.Join(experiments.IDs(), " "))
 		os.Exit(2)
 	}
@@ -36,6 +45,7 @@ func main() {
 	}
 	lab := experiments.NewLab()
 	lab.Scale = *scale
+	lab.Jobs = *jobs
 	ids := args
 	if args[0] == "all" {
 		ids = experiments.IDs()

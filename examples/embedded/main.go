@@ -5,7 +5,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	repro "repro"
 	"repro/internal/ir"
@@ -13,6 +15,11 @@ import (
 )
 
 func main() {
+	// One Optimizer serves every program: it is immutable and reusable.
+	opt, err := repro.New(repro.WithTarget(repro.Thumb))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("MiBench-like embedded programs, ARM Thumb size model, SalSSA[t=1]:")
 	fmt.Printf("%-14s %8s %8s %8s %7s\n", "program", "funcs", "before", "after", "red%")
 	var totalBefore, totalAfter int
@@ -22,11 +29,10 @@ func main() {
 		}
 		m := synth.Generate(p)
 		nfuncs := len(m.Defined())
-		rep := repro.OptimizeModule(m, repro.Options{
-			Algorithm: repro.SalSSA,
-			Threshold: 1,
-			Target:    repro.Thumb,
-		})
+		rep, err := opt.Optimize(context.Background(), m)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if err := ir.VerifyModule(m); err != nil {
 			fmt.Printf("%-14s VERIFY FAILED: %v\n", p.Name, err)
 			continue

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,7 +57,11 @@ func main() {
 	}
 	fmt.Printf("before: %d bytes (x86-64 size model)\n", repro.EstimateSize(m, repro.X86_64))
 
-	merged, stats, err := repro.MergeFunctions(m, "F1", "F2")
+	opt, err := repro.New() // defaults: SalSSA, t=1, x86-64
+	if err != nil {
+		log.Fatal(err)
+	}
+	merged, stats, err := opt.MergePair(context.Background(), m, "F1", "F2")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,7 +6,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"runtime"
 
 	repro "repro"
 	"repro/internal/ir"
@@ -26,25 +29,46 @@ func main() {
 	fmt.Printf("  %d functions, sizes %d/%.1f/%d (min/avg/max), %d phis\n\n",
 		st.Funcs, st.MinSize, st.AvgSize, st.MaxSize, st.PhiInstrs)
 
+	ctx := context.Background()
 	for _, t := range []int{1, 5, 10} {
+		opt, err := repro.New(repro.WithThreshold(t))
+		if err != nil {
+			log.Fatal(err)
+		}
 		m := ir.CloneModule(base)
-		rep := repro.OptimizeModule(m, repro.Options{
-			Algorithm: repro.SalSSA,
-			Threshold: t,
-			Target:    repro.X86_64,
-		})
+		rep, err := opt.Optimize(ctx, m)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("SalSSA[t=%d]: %2d merges, %6d -> %6d bytes (%.1f%% reduction) in %v\n",
 			t, len(rep.Merges), rep.BaselineBytes, rep.FinalBytes,
 			rep.Reduction(), rep.TotalTime.Round(1000000))
 	}
 
-	fmt.Println()
+	// The same threshold-10 sweep with parallel merge planning: the
+	// committed merges are identical, the wall clock is not.
+	par, err := repro.New(repro.WithThreshold(10), repro.WithParallelism(runtime.NumCPU()))
+	if err != nil {
+		log.Fatal(err)
+	}
 	m := ir.CloneModule(base)
-	rep := repro.OptimizeModule(m, repro.Options{
-		Algorithm: repro.FMSA,
-		Threshold: 1,
-		Target:    repro.X86_64,
-	})
+	rep, err := par.Optimize(ctx, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SalSSA[t=10, %d jobs]: %2d merges, same result, in %v (%d trials planned in parallel)\n",
+		runtime.NumCPU(), len(rep.Merges), rep.TotalTime.Round(1000000), rep.Planned)
+
+	fmt.Println()
+	fmsa, err := repro.New(repro.WithAlgorithm(repro.FMSA))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m = ir.CloneModule(base)
+	rep, err = fmsa.Optimize(ctx, m)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("FMSA  [t=1]: %2d merges, %6d -> %6d bytes (%.1f%% reduction) in %v\n",
 		len(rep.Merges), rep.BaselineBytes, rep.FinalBytes,
 		rep.Reduction(), rep.TotalTime.Round(1000000))

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,11 @@ func main() {
 	// Keep the originals around for comparison.
 	pristine := ir.CloneModule(m)
 
-	merged, _, err := repro.MergeFunctions(m, "F1", "F2")
+	opt, err := repro.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	merged, _, err := opt.MergePair(context.Background(), m, "F1", "F2")
 	if err != nil {
 		log.Fatal(err)
 	}

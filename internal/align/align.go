@@ -9,6 +9,7 @@
 package align
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ir"
@@ -181,6 +182,13 @@ const (
 // Align computes the optimal global alignment of the two sequences under
 // match-or-gap scoring.
 func Align(a, b []Entry, opts Options) (*Result, error) {
+	return AlignCtx(context.Background(), a, b, opts)
+}
+
+// AlignCtx is Align with cancellation: the DP fills row by row and the
+// context is polled between rows, so a cancelled alignment returns
+// ctx.Err() without finishing the quadratic fill.
+func AlignCtx(ctx context.Context, a, b []Entry, opts Options) (*Result, error) {
 	n, m := len(a), len(b)
 	cells := int64(n+1) * int64(m+1)
 	if opts.MaxCells > 0 && cells > opts.MaxCells {
@@ -202,6 +210,11 @@ func Align(a, b []Entry, opts Options) (*Result, error) {
 		dir[idx(0, j)] = dirLeft
 	}
 	for i := 1; i <= n; i++ {
+		if i&cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for j := 1; j <= m; j++ {
 			best := score[idx(i-1, j)] - gap
 			d := dirUp
@@ -255,11 +268,22 @@ func Align(a, b []Entry, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// cancelStride is the row mask between context polls in the DP loops: a
+// poll every 16 rows keeps the overhead unmeasurable while bounding the
+// latency of cancellation by a few thousand cell updates.
+const cancelStride = 0xf
+
 // AlignFunctions linearizes both functions and aligns them with the
 // solver selected by opts.Linear.
 func AlignFunctions(f1, f2 *ir.Function, opts Options) (*Result, error) {
+	return AlignFunctionsCtx(context.Background(), f1, f2, opts)
+}
+
+// AlignFunctionsCtx is AlignFunctions with cancellation plumbed into the
+// DP loops of both solvers.
+func AlignFunctionsCtx(ctx context.Context, f1, f2 *ir.Function, opts Options) (*Result, error) {
 	if opts.Linear {
-		return AlignLinear(Linearize(f1), Linearize(f2), opts)
+		return AlignLinearCtx(ctx, Linearize(f1), Linearize(f2), opts)
 	}
-	return Align(Linearize(f1), Linearize(f2), opts)
+	return AlignCtx(ctx, Linearize(f1), Linearize(f2), opts)
 }

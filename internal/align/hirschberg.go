@@ -1,5 +1,7 @@
 package align
 
+import "context"
+
 // Hirschberg's linear-space variant of the alignment. The paper's §5.5
 // identifies the quadratic DP matrix as the dominant memory cost of
 // function merging (6.5 GB for 403.gcc under FMSA); this divide-and-
@@ -13,8 +15,17 @@ package align
 // same scoring as Align but in linear space. The alignment score equals
 // Align's; the recovered path may differ among co-optimal alignments.
 func AlignLinear(a, b []Entry, opts Options) (*Result, error) {
-	h := &hirschberg{opts: opts}
+	return AlignLinearCtx(context.Background(), a, b, opts)
+}
+
+// AlignLinearCtx is AlignLinear with cancellation: the context is polled
+// between DP rows of every divide-and-conquer subproblem.
+func AlignLinearCtx(ctx context.Context, a, b []Entry, opts Options) (*Result, error) {
+	h := &hirschberg{opts: opts, ctx: ctx}
 	pairs := h.solve(a, b)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res := &Result{Pairs: pairs, MatrixBytes: h.peakBytes}
 	for _, p := range pairs {
 		if p.IsMatch() {
@@ -36,8 +47,13 @@ func AlignLinear(a, b []Entry, opts Options) (*Result, error) {
 
 type hirschberg struct {
 	opts      Options
+	ctx       context.Context
 	peakBytes int64
 }
+
+// cancelled reports whether the alignment's context has been cancelled;
+// the recursion unwinds with a partial path that AlignLinearCtx discards.
+func (h *hirschberg) cancelled() bool { return h.ctx.Err() != nil }
 
 func (h *hirschberg) matchScore(a, b Entry) (int32, bool) {
 	if !Mergeable(a, b) {
@@ -61,6 +77,9 @@ func (h *hirschberg) lastRow(a, b []Entry, reversed bool) []int32 {
 		prev[j] = prev[j-1] - gap
 	}
 	for i := 1; i <= len(a); i++ {
+		if i&cancelStride == 0 && h.cancelled() {
+			return prev
+		}
 		cur[0] = prev[0] - gap
 		ai := a[i-1]
 		if reversed {
@@ -94,6 +113,9 @@ func (h *hirschberg) account(bytes int64) {
 }
 
 func (h *hirschberg) solve(a, b []Entry) []Pair {
+	if h.cancelled() {
+		return nil
+	}
 	switch {
 	case len(a) == 0:
 		out := make([]Pair, len(b))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/align"
@@ -80,15 +81,26 @@ func newGenerator(m *ir.Module, f1, f2 *ir.Function, name string, plan *ParamPla
 	return g
 }
 
-// run executes every phase of the SalSSA code generator.
-func (g *generator) run(res *align.Result) {
+// run executes every phase of the SalSSA code generator, polling the
+// context between phases so a long merge can be abandoned mid-build. The
+// caller removes the partial function from the module on error.
+func (g *generator) run(ctx context.Context, res *align.Result) error {
 	g.createPadSlots()
 	g.buildCFG(res)
-	g.assignValueOperands()
-	g.assignLabelOperands()
-	g.createLandingBlocks()
-	g.assignPhiIncomings()
-	g.repairSSA()
+	phases := []func(){
+		g.assignValueOperands,
+		g.assignLabelOperands,
+		g.createLandingBlocks,
+		g.assignPhiIncomings,
+		g.repairSSA,
+	}
+	for _, phase := range phases {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		phase()
+	}
+	return nil
 }
 
 // createPadSlots allocates one slot per original landingpad whose value

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/align"
@@ -59,31 +60,42 @@ type Stats struct {
 // merged function — SalSSA needs no other bookkeeping, unlike FMSA whose
 // demotion residue affects every function it touches).
 func Merge(m *ir.Module, f1, f2 *ir.Function, name string, opts Options) (*ir.Function, *Stats, error) {
+	return MergeCtx(context.Background(), m, f1, f2, name, opts)
+}
+
+// MergeCtx is Merge with cancellation: the context is polled inside the
+// alignment DP and between code-generation phases. On cancellation the
+// partially built merged function is removed from m and ctx.Err() is
+// returned.
+func MergeCtx(ctx context.Context, m *ir.Module, f1, f2 *ir.Function, name string, opts Options) (*ir.Function, *Stats, error) {
 	if f1 == f2 {
 		return nil, nil, fmt.Errorf("core: cannot merge a function with itself")
 	}
 	if f1.IsDecl() || f2.IsDecl() {
 		return nil, nil, fmt.Errorf("core: cannot merge declarations")
 	}
-	plan, err := PlanParams(f1, f2)
+	// Check signature compatibility before paying for the quadratic
+	// alignment; MergeAlignedCtx replans (cheaply) for its own use.
+	if _, err := PlanParams(f1, f2); err != nil {
+		return nil, nil, err
+	}
+	res, err := align.AlignFunctionsCtx(ctx, f1, f2, opts.Align)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := align.AlignFunctions(f1, f2, opts.Align)
-	if err != nil {
-		return nil, nil, err
-	}
-	g := newGenerator(m, f1, f2, name, plan, opts)
-	g.stats.Matches = res.Matches
-	g.stats.InstrMatches = res.InstrMatches
-	g.stats.MatrixBytes = res.MatrixBytes
-	g.run(res)
-	return g.merged, &g.stats, nil
+	return MergeAlignedCtx(ctx, m, f1, f2, name, res, opts)
 }
 
 // MergeAligned is Merge with a precomputed alignment (used by the
 // benchmark harness to time alignment and code generation separately).
 func MergeAligned(m *ir.Module, f1, f2 *ir.Function, name string, res *align.Result, opts Options) (*ir.Function, *Stats, error) {
+	return MergeAlignedCtx(context.Background(), m, f1, f2, name, res, opts)
+}
+
+// MergeAlignedCtx is MergeAligned with cancellation between the code
+// generator's phases; on cancellation the partial merged function is
+// removed from m.
+func MergeAlignedCtx(ctx context.Context, m *ir.Module, f1, f2 *ir.Function, name string, res *align.Result, opts Options) (*ir.Function, *Stats, error) {
 	if f1 == f2 {
 		return nil, nil, fmt.Errorf("core: cannot merge a function with itself")
 	}
@@ -95,6 +107,14 @@ func MergeAligned(m *ir.Module, f1, f2 *ir.Function, name string, res *align.Res
 	g.stats.Matches = res.Matches
 	g.stats.InstrMatches = res.InstrMatches
 	g.stats.MatrixBytes = res.MatrixBytes
-	g.run(res)
+	if err := g.run(ctx, res); err != nil {
+		// The partial function's instructions may still hold operands
+		// from f1/f2 (operand assignment rewires them phase by phase), so
+		// drop its operand uses before detaching — plain RemoveFunc would
+		// leave dangling Use records on the originals.
+		g.merged.Clear()
+		m.RemoveFunc(g.merged)
+		return nil, nil, err
+	}
 	return g.merged, &g.stats, nil
 }

@@ -4,9 +4,24 @@
 // baseline), the profitability cost model, thunk creation for committed
 // merges and rollback for rejected ones, plus the timing and memory
 // accounting the evaluation figures report.
+//
+// The pipeline is split into two stages:
+//
+//   - planning: alignment and speculative code generation of candidate
+//     pairs. Each trial clones its pair into a private scratch module and
+//     builds the merged function there, so trials are pure with respect
+//     to the module being optimized and can run in a worker pool
+//     (Config.Parallelism).
+//   - commit: the serial greedy walk over the ranking that applies the
+//     profitability check, adopts winning merged functions into the real
+//     module, replaces the originals with thunks and updates the ranking.
+//
+// Both stages poll a context.Context, so a run can be cancelled mid-way;
+// committed merges are never rolled back, and the module remains valid.
 package driver
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,6 +61,47 @@ func (a Algorithm) String() string {
 	}
 }
 
+// Stage identifies which pipeline stage a Progress event reports on.
+type Stage int
+
+// Pipeline stages.
+const (
+	// StagePlan is the speculative planning stage (alignment + codegen
+	// of candidate pairs, possibly in parallel).
+	StagePlan Stage = iota
+	// StageCommit is the serial commit stage (profitability check, thunk
+	// creation, ranking updates).
+	StageCommit
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	if s == StageCommit {
+		return "commit"
+	}
+	return "plan"
+}
+
+// Progress is one observable pipeline event. Plan events report a trial
+// that finished planning; commit events report a profitable merge that
+// was recorded (committed or filtered).
+type Progress struct {
+	// Stage is the reporting stage.
+	Stage Stage
+	// F1 and F2 name the candidate pair.
+	F1, F2 string
+	// Merged names the merged function (commit events only).
+	Merged string
+	// Profit is the estimated byte saving (commit events only).
+	Profit int
+	// Committed reports whether the merge was applied (commit events).
+	Committed bool
+	// Done counts events of this stage so far; Total is the number of
+	// planned trials for plan events and 0 for commit events (the total
+	// is not known in advance).
+	Done, Total int
+}
+
 // Config controls a merging run.
 type Config struct {
 	// Algorithm is the merging technique.
@@ -70,6 +126,22 @@ type Config struct {
 	// CommitFilter, when non-nil, decides whether the i-th profitable
 	// merge is committed (used by the Figure 19 isolation study).
 	CommitFilter func(i int) bool
+	// Parallelism is the worker count of the planning stage. Values <= 1
+	// plan lazily on the committing goroutine (the serial pipeline);
+	// larger values speculatively plan every ranked candidate pair in a
+	// pool of that many workers before the commit stage starts. The
+	// committed merge set is identical either way. Speculation trades
+	// memory for wall clock: up to len(candidates)*Threshold merged
+	// candidates are alive at the commit barrier (freed progressively as
+	// the commit walk passes them); MaxCells bounds the per-trial
+	// alignment matrices.
+	Parallelism int
+	// Progress, when non-nil, observes pipeline events. Calls within one
+	// run are always serialized (plan events are emitted under the
+	// planner's lock, commit events from the committing goroutine), but
+	// plan-stage events come from planning workers, so the callback
+	// should not block for long.
+	Progress func(Progress)
 }
 
 // MergeRecord describes one committed (or filtered) profitable merge.
@@ -89,10 +161,16 @@ type Result struct {
 	BaselineBytes, FinalBytes int
 	// Merges lists profitable merge operations in commit order.
 	Merges []MergeRecord
-	// Attempts counts merge trials (including unprofitable ones).
+	// Attempts counts merge trials the commit stage consumed (including
+	// unprofitable ones).
 	Attempts int
+	// Planned counts the speculative trials executed by the parallel
+	// planning stage (0 for serial runs).
+	Planned int
 	// AlignTime and CodegenTime accumulate the two core phases
 	// (Figure 23); TotalTime is the whole run (Figure 24's overhead).
+	// Under parallel planning the phase times are summed across workers,
+	// so they can exceed TotalTime.
 	AlignTime, CodegenTime, TotalTime time.Duration
 	// PeakMatrixBytes is the largest alignment matrix (Figure 22's
 	// peak-memory proxy); SumMatrixBytes accumulates all matrices.
@@ -108,8 +186,10 @@ func (r *Result) Reduction() float64 {
 	return 100 * float64(r.BaselineBytes-r.FinalBytes) / float64(r.BaselineBytes)
 }
 
-// coreOptions derives the generator options for the algorithm.
-func (c Config) coreOptions() core.Options {
+// CoreOptions derives the generator options for the algorithm; the
+// facade's MergePair shares it so pair merges and whole-module runs
+// never diverge on generator knobs.
+func (c Config) CoreOptions() core.Options {
 	var opts core.Options
 	switch c.Algorithm {
 	case SalSSANoPC:
@@ -125,11 +205,42 @@ func (c Config) coreOptions() core.Options {
 	return opts
 }
 
+// progressFn returns a nil-safe progress callback. No extra locking is
+// needed for serialization: plan events are emitted under the planner's
+// mutex, commit events come from the single committing goroutine, and a
+// worker barrier separates the two stages.
+func (c Config) progressFn() func(Progress) {
+	if c.Progress == nil {
+		return func(Progress) {}
+	}
+	return c.Progress
+}
+
 // Run performs function merging on m in place and returns the report.
+// It is RunContext without cancellation.
 func Run(m *ir.Module, cfg Config) *Result {
+	res, _ := RunContext(context.Background(), m, cfg)
+	return res
+}
+
+// RunContext performs function merging on m in place. On cancellation it
+// stops between trials, leaves every already-committed merge in place
+// (the module still verifies), and returns the partial result together
+// with ctx.Err().
+func RunContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) {
 	start := time.Now()
 	res := &Result{Algorithm: cfg.Algorithm, Threshold: cfg.Threshold}
 	res.BaselineBytes = costmodel.ModuleBytes(m, cfg.Target)
+	progress := cfg.progressFn()
+
+	// Refuse to start under a dead context: FMSA's demote/clean-up round
+	// trip below leaves permanent residue, so a cancelled-before-start
+	// run must be a true no-op on the module.
+	if err := ctx.Err(); err != nil {
+		res.FinalBytes = res.BaselineBytes
+		res.TotalTime = time.Since(start)
+		return res, err
+	}
 
 	// The cost model must price the originals at their *final* (promoted)
 	// size — unmerged functions are promoted back during clean-up — so
@@ -158,91 +269,200 @@ func Run(m *ir.Module, cfg Config) *Result {
 		candidates = kept
 	}
 	ranking := fingerprint.NewRanking(candidates)
-	opts := cfg.coreOptions()
+	opts := cfg.CoreOptions()
+	order := ranking.Order()
+
+	// Planning stage: speculatively plan every ranked candidate pair in a
+	// worker pool. Trials are pure (clone + scratch module), so the only
+	// shared state they touch is read-only.
+	var pl *planner
+	if cfg.Parallelism > 1 {
+		pl = planAll(ctx, order, ranking, preSize, opts, cfg, progress)
+		pl.wait()
+		res.Planned = pl.executed
+	}
+
+	// Commit stage: the serial greedy walk of the paper's pipeline. Its
+	// decisions replicate the serial pipeline exactly; planned trials are
+	// consumed where available and recomputed lazily where a commit
+	// shifted a candidate list.
 	consumed := map[*ir.Function]bool{}
 	mergeIdx := 0
-
-	for _, f1 := range ranking.Order() {
+	var runErr error
+	// discard drops a rejected in-place trial's merged function from the
+	// module; scratch-built trials just become garbage with their module.
+	discard := func(t *trial) {
+		if t != nil && t.merged != nil && t.scratch == nil {
+			m.RemoveFunc(t.merged)
+		}
+	}
+	// release frees f1's speculative trials once the walk is past them,
+	// so the GC can reclaim their scratch modules during the walk.
+	release := func(f1 *ir.Function) {
+		if pl != nil {
+			pl.release(f1)
+		}
+	}
+commitLoop:
+	for _, f1 := range order {
 		if consumed[f1] {
+			release(f1)
 			continue
 		}
-		type best struct {
-			merged *ir.Function
-			f2     *ir.Function
-			profit int
-			stats  core.Stats
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
 		}
-		var b *best
+		var best *trial
 		for _, f2 := range ranking.Candidates(f1, cfg.Threshold) {
 			if consumed[f2] {
 				continue
 			}
-			merged, stats, profit, err := tryMerge(m, f1, f2, preSize, opts, cfg, res)
+			var t *trial
+			if pl != nil {
+				t = pl.take(f1, f2)
+			}
+			if t == nil {
+				if err := ctx.Err(); err != nil {
+					runErr = err
+					discard(best)
+					break commitLoop
+				}
+				t = planTrialInPlace(ctx, m, f1, f2, preSize, opts, cfg)
+			}
 			res.Attempts++
-			if err != nil {
+			res.AlignTime += t.alignTime
+			res.CodegenTime += t.codegenTime
+			if t.matrixBytes > 0 {
+				res.SumMatrixBytes += t.matrixBytes
+				if t.matrixBytes > res.PeakMatrixBytes {
+					res.PeakMatrixBytes = t.matrixBytes
+				}
+			}
+			if t.err != nil {
+				if err := ctx.Err(); err != nil {
+					runErr = err
+					discard(best)
+					break commitLoop
+				}
 				continue
 			}
-			if profit > 0 && (b == nil || profit > b.profit) {
-				if b != nil {
-					m.RemoveFunc(b.merged)
-				}
-				b = &best{merged: merged, f2: f2, profit: profit, stats: *stats}
+			if t.profit > 0 && (best == nil || t.profit > best.profit) {
+				discard(best)
+				best = t
 			} else {
-				m.RemoveFunc(merged)
+				discard(t)
 			}
 		}
-		if b == nil {
+		release(f1)
+		if best == nil {
 			continue
 		}
 		rec := MergeRecord{
-			F1: f1.Name(), F2: b.f2.Name(), Merged: b.merged.Name(),
-			Profit: b.profit, Stats: b.stats, Committed: true,
+			F1: f1.Name(), F2: best.f2.Name(),
+			Profit: best.profit, Stats: best.stats, Committed: true,
 		}
 		if cfg.CommitFilter != nil && !cfg.CommitFilter(mergeIdx) {
 			rec.Committed = false
-			m.RemoveFunc(b.merged)
+			if best.scratch == nil {
+				rec.Merged = best.merged.Name()
+				discard(best)
+			} else {
+				rec.Merged = MergedName(m, f1, best.f2)
+			}
 		} else {
-			commit(f1, b.f2, b.merged, cfg)
+			if best.scratch != nil {
+				adopt(m, best)
+			}
+			rec.Merged = best.merged.Name()
+			commit(f1, best.f2, best.merged)
 			consumed[f1] = true
-			consumed[b.f2] = true
+			consumed[best.f2] = true
 			ranking.Remove(f1)
-			ranking.Remove(b.f2)
+			ranking.Remove(best.f2)
 		}
 		res.Merges = append(res.Merges, rec)
 		mergeIdx++
+		progress(Progress{
+			Stage: StageCommit, F1: rec.F1, F2: rec.F2, Merged: rec.Merged,
+			Profit: rec.Profit, Committed: rec.Committed, Done: mergeIdx,
+		})
 	}
 
 	// Clean-up stage (Figure 1). FMSA re-promotes and simplifies every
 	// function it demoted; whatever cannot be promoted back is the
-	// residue. SalSSA never touched the unmerged functions.
+	// residue. SalSSA never touched the unmerged functions. Clean-up runs
+	// even on cancellation so the module is always left consistent.
 	if cfg.Algorithm == FMSA {
 		fmsa.CleanupModule(m)
 	}
 	res.FinalBytes = costmodel.ModuleBytes(m, cfg.Target)
 	res.TotalTime = time.Since(start)
-	return res
+	return res, runErr
 }
 
-// tryMerge aligns and merges one candidate pair, timing the phases, and
-// returns the simplified merged function with its estimated profit. The
-// caller owns removal on rejection.
-func tryMerge(m *ir.Module, f1, f2 *ir.Function, preSize map[*ir.Function]int, opts core.Options, cfg Config, res *Result) (*ir.Function, *core.Stats, int, error) {
+// trial is the outcome of planning one candidate pair: the merged
+// function speculatively built in a private scratch module, its stats and
+// estimated profit, plus the phase accounting the commit stage folds into
+// the Result when it consumes the trial.
+type trial struct {
+	f1, f2  *ir.Function
+	scratch *ir.Module
+	merged  *ir.Function
+	stats   core.Stats
+	profit  int
+	err     error
+
+	alignTime, codegenTime time.Duration
+	matrixBytes            int64
+}
+
+// planTrial aligns and speculatively merges one candidate pair in a
+// worker. The pair is cloned into a fresh scratch module first: cloning
+// and operand assignment maintain use-lists on the source values, so
+// merging the originals directly would make concurrent trials sharing a
+// function race. The clones are structurally identical to the originals,
+// so the merged function (and its profit) matches what merging the
+// originals would produce.
+func planTrial(ctx context.Context, f1, f2 *ir.Function, preSize map[*ir.Function]int, opts core.Options, cfg Config) *trial {
+	t := &trial{f1: f1, f2: f2, scratch: ir.NewModule()}
+	c1, _ := ir.CloneFunction(f1, f1.Name())
+	c2, _ := ir.CloneFunction(f2, f2.Name())
+	t.scratch.AddFunc(c1)
+	t.scratch.AddFunc(c2)
+	t.build(ctx, t.scratch, c1, c2, mergedBaseName(f1, f2), preSize, opts, cfg)
+	return t
+}
+
+// planTrialInPlace merges the originals directly into m, like the serial
+// pipeline always did — no clones, no scratch module. Only the commit
+// goroutine may call it (serial runs, and lazy replans after the worker
+// barrier), since it mutates use-lists on the pair and adds the merged
+// function to m; the caller discards the merged function on rejection.
+func planTrialInPlace(ctx context.Context, m *ir.Module, f1, f2 *ir.Function, preSize map[*ir.Function]int, opts core.Options, cfg Config) *trial {
+	t := &trial{f1: f1, f2: f2}
+	t.build(ctx, m, f1, f2, MergedName(m, f1, f2), preSize, opts, cfg)
+	return t
+}
+
+// build aligns a and b and generates the merged function named name in
+// dst, filling the trial's stats, timings and profit.
+func (t *trial) build(ctx context.Context, dst *ir.Module, a, b *ir.Function, name string, preSize map[*ir.Function]int, opts core.Options, cfg Config) {
 	t0 := time.Now()
-	ares, err := align.AlignFunctions(f1, f2, opts.Align)
-	res.AlignTime += time.Since(t0)
+	ares, err := align.AlignFunctionsCtx(ctx, a, b, opts.Align)
+	t.alignTime = time.Since(t0)
 	if err != nil {
-		return nil, nil, 0, err
+		t.err = err
+		return
 	}
-	res.SumMatrixBytes += ares.MatrixBytes
-	if ares.MatrixBytes > res.PeakMatrixBytes {
-		res.PeakMatrixBytes = ares.MatrixBytes
-	}
-	name := mergedName(m, f1, f2)
+	t.matrixBytes = ares.MatrixBytes
+
 	t1 := time.Now()
-	merged, stats, err := core.MergeAligned(m, f1, f2, name, ares, opts)
+	merged, stats, err := core.MergeAlignedCtx(ctx, dst, a, b, name, ares, opts)
 	if err != nil {
-		res.CodegenTime += time.Since(t1)
-		return nil, nil, 0, err
+		t.codegenTime = time.Since(t1)
+		t.err = err
+		return
 	}
 	// The merged function is cleaned before the cost model sees it; for
 	// FMSA this is where register promotion tries (and partially fails)
@@ -251,18 +471,28 @@ func tryMerge(m *ir.Module, f1, f2 *ir.Function, preSize map[*ir.Function]int, o
 		transform.Mem2Reg(merged)
 	}
 	transform.Simplify(merged)
-	res.CodegenTime += time.Since(t1)
+	t.codegenTime = time.Since(t1)
 
+	t.merged = merged
+	t.stats = *stats
 	thunk := costmodel.ThunkBytes(cfg.Target, len(merged.Params()))
 	cost := costmodel.MergeCost{
-		Before: preSize[f1] + preSize[f2],
+		Before: preSize[t.f1] + preSize[t.f2],
 		After:  costmodel.FuncBytes(merged, cfg.Target) + 2*thunk,
 	}
-	return merged, stats, cost.Profit(), nil
+	t.profit = cost.Profit()
+}
+
+// adopt moves a trial's merged function out of its scratch module into m
+// under a collision-free name.
+func adopt(m *ir.Module, t *trial) {
+	t.scratch.RemoveFunc(t.merged)
+	t.merged.SetName(MergedName(m, t.f1, t.f2))
+	m.AddFunc(t.merged)
 }
 
 // commit replaces both originals with thunks into the merged function.
-func commit(f1, f2, merged *ir.Function, cfg Config) {
+func commit(f1, f2, merged *ir.Function) {
 	plan, err := core.PlanParams(f1, f2)
 	if err != nil {
 		panic(fmt.Sprintf("driver: committed merge has invalid plan: %v", err))
@@ -271,8 +501,16 @@ func commit(f1, f2, merged *ir.Function, cfg Config) {
 	core.BuildThunk(f2, merged, false, plan.Map2, plan)
 }
 
-func mergedName(m *ir.Module, f1, f2 *ir.Function) string {
-	base := fmt.Sprintf("merged.%s.%s", f1.Name(), f2.Name())
+func mergedBaseName(f1, f2 *ir.Function) string {
+	return fmt.Sprintf("merged.%s.%s", f1.Name(), f2.Name())
+}
+
+// MergedName returns the collision-free name for merging f1 and f2 into
+// m: the base "merged.<f1>.<f2>" scheme with a numeric suffix when
+// taken. The facade's MergePair shares it so pair merges and
+// whole-module runs never diverge on naming.
+func MergedName(m *ir.Module, f1, f2 *ir.Function) string {
+	base := mergedBaseName(f1, f2)
 	name := base
 	for i := 1; m.FuncByName(name) != nil; i++ {
 		name = fmt.Sprintf("%s.%d", base, i)

@@ -1,0 +1,104 @@
+package driver
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+	"repro/internal/ir"
+)
+
+// pairKey identifies a directed candidate pair: (f1, f2) and (f2, f1)
+// are distinct trials (the first function drives the merged name and the
+// fid polarity), matching the commit stage's lookups.
+type pairKey struct {
+	f1, f2 *ir.Function
+}
+
+// planner owns the speculative trials of the planning stage, indexed by
+// first function so the commit stage can free a whole row once its walk
+// is past it. After wait() returns, only the commit goroutine touches
+// the map (take/release need no locking).
+type planner struct {
+	mu       sync.Mutex
+	wg       sync.WaitGroup
+	trials   map[*ir.Function]map[*ir.Function]*trial
+	executed int
+}
+
+// planAll enumerates every ranked candidate pair — the same pairs the
+// serial pipeline would consider, computed against the pristine ranking —
+// and plans them in cfg.Parallelism workers. Pairs whose candidate lists
+// shift after commits are replanned lazily by the commit stage; pairs
+// planned here but never consumed are speculation waste (time and
+// transient memory), bounded by len(order) * Threshold trials.
+func planAll(ctx context.Context, order []*ir.Function, ranking *fingerprint.Ranking, preSize map[*ir.Function]int, opts core.Options, cfg Config, progress func(Progress)) *planner {
+	var keys []pairKey
+	for _, f1 := range order {
+		for _, f2 := range ranking.Candidates(f1, cfg.Threshold) {
+			keys = append(keys, pairKey{f1: f1, f2: f2})
+		}
+	}
+	p := &planner{trials: make(map[*ir.Function]map[*ir.Function]*trial, len(order))}
+	workers := cfg.Parallelism
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	ch := make(chan pairKey, len(keys))
+	for _, k := range keys {
+		ch <- k
+	}
+	close(ch)
+	total := len(keys)
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for k := range ch {
+				// Drain quickly once cancelled; unplanned pairs stay absent
+				// from the map and the commit stage (which checks the
+				// context itself) never needs them.
+				if ctx.Err() != nil {
+					continue
+				}
+				t := planTrial(ctx, k.f1, k.f2, preSize, opts, cfg)
+				p.mu.Lock()
+				row := p.trials[k.f1]
+				if row == nil {
+					row = map[*ir.Function]*trial{}
+					p.trials[k.f1] = row
+				}
+				row[k.f2] = t
+				p.executed++
+				// Emitted under the lock so Done stays monotonic at the
+				// (serialized) observer.
+				progress(Progress{
+					Stage: StagePlan, F1: k.f1.Name(), F2: k.f2.Name(),
+					Done: p.executed, Total: total,
+				})
+				p.mu.Unlock()
+			}
+		}()
+	}
+	return p
+}
+
+// wait blocks until every worker has finished (or drained after
+// cancellation). It must be called before take.
+func (p *planner) wait() { p.wg.Wait() }
+
+// take returns the planned trial for the pair, or nil when the pair was
+// not speculated (the candidate list shifted after a commit, or planning
+// was cancelled).
+func (p *planner) take(f1, f2 *ir.Function) *trial {
+	return p.trials[f1][f2]
+}
+
+// release drops every trial speculated for f1. The commit stage calls it
+// as soon as its walk is past f1 — each function leads at most one outer
+// iteration — so dead scratch modules become collectable while later
+// functions are still being committed.
+func (p *planner) release(f1 *ir.Function) {
+	delete(p.trials, f1)
+}

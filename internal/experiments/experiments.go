@@ -108,13 +108,18 @@ type Lab struct {
 	cache map[runKey]*runEntry
 	// Scale divides suite function counts for quick runs (1 = full).
 	Scale int
+	// Jobs is the planning-stage worker count handed to the driver
+	// (<= 1 serial). Parallel planning commits the same merges, so size
+	// figures are unchanged; the paper's timing figures (23, 24) should
+	// be regenerated serially to stay faithful.
+	Jobs int
 	// Target for SPEC experiments (x86-64); MiBench uses Thumb.
 	seedModules map[string]*ir.Module
 }
 
 // NewLab returns an empty lab at full scale.
 func NewLab() *Lab {
-	return &Lab{cache: map[runKey]*runEntry{}, Scale: 1, seedModules: map[string]*ir.Module{}}
+	return &Lab{cache: map[runKey]*runEntry{}, Scale: 1, Jobs: 1, seedModules: map[string]*ir.Module{}}
 }
 
 // scaleProfile reduces a profile's function count by the lab scale.
@@ -157,9 +162,10 @@ func (l *Lab) run(suite string, p synth.Profile, algo driver.Algorithm, t int, t
 	baseTime := time.Since(t0)
 
 	res := driver.Run(work, driver.Config{
-		Algorithm: algo,
-		Threshold: t,
-		Target:    target,
+		Algorithm:   algo,
+		Threshold:   t,
+		Target:      target,
+		Parallelism: l.Jobs,
 	})
 	e := &runEntry{res: res, pre: pristine, post: work, baseTime: baseTime}
 	l.cache[key] = e

@@ -7,6 +7,7 @@ package fingerprint
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/ir"
 )
@@ -73,7 +74,15 @@ func min32(a, b int32) int32 {
 
 // Ranking owns the fingerprints of a set of candidate functions and
 // answers "which t functions look most similar to f".
+//
+// Ranking is safe for concurrent use: reads (Candidates, Order) may run
+// concurrently with each other and are serialized against the writes
+// (Add, Remove). Today the driver's planning stage snapshots its
+// candidate pairs on one goroutine before the workers start, so the
+// lock is a contract for concurrent callers (e.g. a streaming planner),
+// not a present-day necessity there.
 type Ranking struct {
+	mu    sync.RWMutex
 	funcs []*ir.Function
 	fps   map[*ir.Function]*Fingerprint
 }
@@ -90,10 +99,16 @@ func NewRanking(funcs []*ir.Function) *Ranking {
 }
 
 // Remove drops f from future candidate lists (it was merged away).
-func (r *Ranking) Remove(f *ir.Function) { delete(r.fps, f) }
+func (r *Ranking) Remove(f *ir.Function) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.fps, f)
+}
 
 // Add (re-)fingerprints f and makes it a candidate.
 func (r *Ranking) Add(f *ir.Function) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	present := false
 	for _, g := range r.funcs {
 		if g == f {
@@ -114,6 +129,8 @@ func (r *Ranking) Add(f *ir.Function) {
 // heuristic; the cost model has the final word), matching the paper's
 // pipeline where ranking only orders the attempts.
 func (r *Ranking) Candidates(f *ir.Function, t int) []*ir.Function {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	self := r.fps[f]
 	if self == nil || t <= 0 {
 		return nil
@@ -150,6 +167,8 @@ func (r *Ranking) Candidates(f *ir.Function, t int) []*ir.Function {
 // the order in which merging is attempted ("both FMSA and SalSSA start
 // merging from the largest to the smallest functions", §5.5).
 func (r *Ranking) Order() []*ir.Function {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var out []*ir.Function
 	for _, f := range r.funcs {
 		if r.fps[f] != nil {

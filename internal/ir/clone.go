@@ -1,13 +1,26 @@
 package ir
 
+// cloneInstrRaw returns a detached copy of in sharing its operand
+// values but with NO uses registered — the one place the full field
+// list of a copy lives, shared by both clone paths.
+func cloneInstrRaw(in *Instruction) *Instruction {
+	return &Instruction{
+		op: in.op, name: in.name, typ: in.typ,
+		operands: append([]Value(nil), in.operands...),
+		Pred:     in.Pred, AllocTy: in.AllocTy, Cleanup: in.Cleanup,
+	}
+}
+
 // CloneInstruction returns a detached copy of in referring to the same
-// operands. Auxiliary data (predicate, alloca type, cleanup flag) is
-// preserved.
+// operands (uses registered). Auxiliary data (predicate, alloca type,
+// cleanup flag) is preserved.
 func CloneInstruction(in *Instruction) *Instruction {
-	c := newInstr(in.op, in.name, in.typ, in.operands...)
-	c.Pred = in.Pred
-	c.AllocTy = in.AllocTy
-	c.Cleanup = in.Cleanup
+	c := cloneInstrRaw(in)
+	for i, v := range c.operands {
+		if u, ok := v.(usable); ok {
+			u.addUse(Use{User: c, Index: i})
+		}
+	}
 	return c
 }
 
@@ -23,6 +36,13 @@ func RemapOperands(in *Instruction, vmap map[Value]Value) {
 // CloneFunction returns a deep copy of f named name, together with the
 // value map from original values (arguments, blocks, instructions) to
 // their clones.
+//
+// Cloning is strictly read-only on f: the parallel planning stage clones
+// the same function into several scratch modules at once, so no use-list
+// of f may be touched, not even transiently. Cloned instructions are
+// therefore built with raw (unregistered) operand slices and uses are
+// registered only after every operand has been remapped into the clone's
+// value space.
 func CloneFunction(f *Function, name string) (*Function, map[Value]Value) {
 	clone := NewFunction(name, f.sig)
 	vmap := make(map[Value]Value, f.NumInstrs()+len(f.params))
@@ -34,19 +54,29 @@ func CloneFunction(f *Function, name string) (*Function, map[Value]Value) {
 		nb := clone.NewBlockIn(b.name)
 		vmap[b] = nb
 	}
-	// First pass: clone instructions with original operands.
+	// First pass: raw copies holding the original operands, with no use
+	// bookkeeping anywhere.
 	for _, b := range f.Blocks {
 		nb := vmap[b].(*Block)
 		for _, in := range b.instrs {
-			c := CloneInstruction(in)
+			c := cloneInstrRaw(in)
 			nb.Append(c)
 			vmap[in] = c
 		}
 	}
-	// Second pass: remap operands into the clone's value space.
+	// Second pass: remap operands into the clone's value space and
+	// register the uses on the clone's values. Operands without a mapping
+	// are constants, globals or functions, which do not track uses.
 	for _, b := range clone.Blocks {
 		for _, in := range b.instrs {
-			RemapOperands(in, vmap)
+			for i, op := range in.operands {
+				if nv, ok := vmap[op]; ok {
+					in.operands[i] = nv
+				}
+				if u, ok := in.operands[i].(usable); ok {
+					u.addUse(Use{User: in, Index: i})
+				}
+			}
 		}
 	}
 	return clone, vmap

@@ -1,0 +1,275 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/transform"
+)
+
+// Progress is one observable pipeline event of an Optimize run; see
+// WithProgress.
+type Progress = driver.Progress
+
+// Stage identifies the pipeline stage a Progress event reports on.
+type Stage = driver.Stage
+
+// Pipeline stages.
+const (
+	// StagePlan is the (possibly parallel) planning stage: alignment and
+	// speculative code generation of candidate pairs.
+	StagePlan = driver.StagePlan
+	// StageCommit is the serial commit stage: profitability checks,
+	// thunk creation and ranking updates.
+	StageCommit = driver.StageCommit
+)
+
+// Optimizer runs whole-module function merging. It is configured once
+// with functional options (see New) and is then immutable: a single
+// Optimizer may be reused for any number of modules, from any number of
+// goroutines concurrently (each call works only on its own module).
+type Optimizer struct {
+	algorithm   Algorithm
+	threshold   int
+	target      Target
+	linearAlign bool
+	maxCells    int64
+	minInstrs   int
+	skipHot     map[string]bool
+	parallelism int
+	progress    func(Progress)
+}
+
+// Option configures an Optimizer under construction; see New.
+type Option func(*Optimizer) error
+
+// New builds an Optimizer from the given options. Without options the
+// defaults match the paper's main configuration: SalSSA, exploration
+// threshold 1, the x86-64 size model, quadratic alignment, no size or
+// memory limits, serial planning.
+func New(opts ...Option) (*Optimizer, error) {
+	o := &Optimizer{
+		algorithm:   SalSSA,
+		threshold:   1,
+		target:      X86_64,
+		parallelism: 1,
+	}
+	for _, opt := range opts {
+		if err := opt(o); err != nil {
+			return nil, err
+		}
+	}
+	// The serialization WithProgress promises must span concurrent
+	// Optimize calls sharing this Optimizer, so the mutex lives here,
+	// not per run.
+	if o.progress != nil {
+		inner := o.progress
+		var mu sync.Mutex
+		o.progress = func(ev Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			inner(ev)
+		}
+	}
+	return o, nil
+}
+
+// WithAlgorithm selects the merging technique (default SalSSA).
+func WithAlgorithm(a Algorithm) Option {
+	return func(o *Optimizer) error {
+		switch a {
+		case SalSSA, SalSSANoPC, FMSA:
+			o.algorithm = a
+			return nil
+		default:
+			return fmt.Errorf("repro: unknown algorithm %d", int(a))
+		}
+	}
+}
+
+// WithThreshold sets the exploration threshold t: how many ranked
+// candidate partners are tried per function (default 1; the paper
+// evaluates 1, 5 and 10).
+func WithThreshold(t int) Option {
+	return func(o *Optimizer) error {
+		if t < 1 {
+			return fmt.Errorf("repro: threshold must be >= 1, got %d", t)
+		}
+		o.threshold = t
+		return nil
+	}
+}
+
+// WithTarget selects the object-size model (default X86_64).
+func WithTarget(t Target) Option {
+	return func(o *Optimizer) error {
+		switch t {
+		case X86_64, Thumb:
+			o.target = t
+			return nil
+		default:
+			return fmt.Errorf("repro: unknown target %d", int(t))
+		}
+	}
+}
+
+// WithLinearAlign switches alignment to Hirschberg's linear-space
+// algorithm: the same optimal score in O(n+m) memory for roughly twice
+// the time (default off, matching the paper's quadratic DP).
+func WithLinearAlign(on bool) Option {
+	return func(o *Optimizer) error {
+		o.linearAlign = on
+		return nil
+	}
+}
+
+// WithMaxCells caps alignment DP matrices at n cells; pairs needing more
+// are skipped rather than aligned (default 0 = unlimited).
+func WithMaxCells(n int64) Option {
+	return func(o *Optimizer) error {
+		if n < 0 {
+			return fmt.Errorf("repro: max cells must be >= 0, got %d", n)
+		}
+		o.maxCells = n
+		return nil
+	}
+}
+
+// WithMinInstrs skips functions smaller than n instructions (default 0 =
+// consider every defined function).
+func WithMinInstrs(n int) Option {
+	return func(o *Optimizer) error {
+		if n < 0 {
+			return fmt.Errorf("repro: min instrs must be >= 0, got %d", n)
+		}
+		o.minInstrs = n
+		return nil
+	}
+}
+
+// WithSkipHot excludes the named functions from merging — the paper's
+// §5.7 remedy for runtime overhead on hot code paths. Multiple uses
+// accumulate.
+func WithSkipHot(names ...string) Option {
+	return func(o *Optimizer) error {
+		if o.skipHot == nil {
+			o.skipHot = map[string]bool{}
+		}
+		for _, n := range names {
+			if n == "" {
+				return fmt.Errorf("repro: empty function name in skip-hot list")
+			}
+			o.skipHot[n] = true
+		}
+		return nil
+	}
+}
+
+// WithParallelism plans candidate merges in n concurrent workers; the
+// commit stage stays serial, so the committed merge set is identical to
+// a serial run. n = 0 selects runtime.NumCPU(); n = 1 disables
+// speculation (default).
+func WithParallelism(n int) Option {
+	return func(o *Optimizer) error {
+		if n < 0 {
+			return fmt.Errorf("repro: parallelism must be >= 0, got %d", n)
+		}
+		if n == 0 {
+			n = runtime.NumCPU()
+		}
+		o.parallelism = n
+		return nil
+	}
+}
+
+// WithProgress installs an observer for pipeline events. Calls are
+// serialized, even across concurrent Optimize calls sharing the
+// Optimizer; plan-stage events may be emitted from planning workers, so
+// fn should not block for long. A nil fn disables observation.
+//
+// Events carry no run identifier: concurrent Optimize calls sharing one
+// Optimizer interleave their events at the callback. When per-run
+// attribution matters, build one Optimizer per run (they are cheap) and
+// close the run's identity over fn.
+func WithProgress(fn func(Progress)) Option {
+	return func(o *Optimizer) error {
+		o.progress = fn
+		return nil
+	}
+}
+
+// Algorithm returns the configured merging technique.
+func (o *Optimizer) Algorithm() Algorithm { return o.algorithm }
+
+// Threshold returns the configured exploration threshold.
+func (o *Optimizer) Threshold() int { return o.threshold }
+
+// Target returns the configured size-model target.
+func (o *Optimizer) Target() Target { return o.target }
+
+// Parallelism returns the configured planning worker count.
+func (o *Optimizer) Parallelism() int { return o.parallelism }
+
+// config derives the driver configuration. The skip-hot map is shared,
+// not copied: the driver only reads it, and the Optimizer is immutable
+// after New.
+func (o *Optimizer) config() driver.Config {
+	return driver.Config{
+		Algorithm:   o.algorithm,
+		Threshold:   o.threshold,
+		Target:      o.target,
+		MaxCells:    o.maxCells,
+		LinearAlign: o.linearAlign,
+		SkipHot:     o.skipHot,
+		MinInstrs:   o.minInstrs,
+		Parallelism: o.parallelism,
+		Progress:    o.progress,
+	}
+}
+
+// Optimize runs function merging over m in place and returns the report
+// (committed merges, size reduction, phase timings).
+//
+// The context cancels the run between (and inside) merge trials: on
+// cancellation Optimize stops early, leaves every already-committed
+// merge in place — the module still verifies — and returns the partial
+// report together with ctx.Err().
+func (o *Optimizer) Optimize(ctx context.Context, m *Module) (*Report, error) {
+	if m == nil {
+		return nil, fmt.Errorf("repro: Optimize on nil module")
+	}
+	return driver.RunContext(ctx, m, o.config())
+}
+
+// MergePair merges the two named functions of m unconditionally (no
+// profitability check) and replaces the originals with forwarding
+// thunks. It returns the merged function and the generator statistics.
+//
+// The SalSSA generator variants are supported; an FMSA-configured
+// Optimizer returns an error because FMSA merges require whole-module
+// register demotion (use Optimize instead).
+func (o *Optimizer) MergePair(ctx context.Context, m *Module, name1, name2 string) (*Function, *MergeStats, error) {
+	if o.algorithm == FMSA {
+		return nil, nil, fmt.Errorf("repro: MergePair supports the SalSSA variants only; use Optimize for FMSA")
+	}
+	f1, f2 := m.FuncByName(name1), m.FuncByName(name2)
+	if f1 == nil || f2 == nil {
+		return nil, nil, fmt.Errorf("repro: function %q or %q not found", name1, name2)
+	}
+	plan, err := core.PlanParams(f1, f2)
+	if err != nil {
+		return nil, nil, err
+	}
+	merged, stats, err := core.MergeCtx(ctx, m, f1, f2, driver.MergedName(m, f1, f2), o.config().CoreOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	transform.Simplify(merged)
+	core.BuildThunk(f1, merged, true, plan.Map1, plan)
+	core.BuildThunk(f2, merged, false, plan.Map2, plan)
+	return merged, stats, nil
+}

@@ -2,29 +2,36 @@
 // Petoumenos, Wang, Cole, Leather — "Effective Function Merging in the
 // SSA Form", PLDI 2020), reimplemented as a self-contained Go library.
 //
-// The package is a facade over the implementation:
+// The public surface centres on the Optimizer:
 //
 //   - ParseModule / FormatModule: the textual IR (an LLVM-like dialect);
-//   - MergeFunctions: merge one pair with SalSSA (or the FMSA baseline)
-//     and inspect the generator's statistics;
-//   - OptimizeModule: the whole-module pipeline — candidate ranking,
-//     pairwise merging, the profitability cost model, thunk creation;
+//   - New + Option (WithAlgorithm, WithThreshold, WithTarget,
+//     WithLinearAlign, WithMaxCells, WithMinInstrs, WithSkipHot,
+//     WithParallelism, WithProgress): build a reusable, concurrency-safe
+//     Optimizer;
+//   - (*Optimizer).Optimize: the whole-module pipeline — candidate
+//     ranking, parallel merge planning, the profitability cost model,
+//     thunk creation — with context cancellation;
+//   - (*Optimizer).MergePair: merge one pair unconditionally and inspect
+//     the generator's statistics;
 //   - EstimateSize: the per-target object-size model used to decide
 //     profitability and to report reductions.
+//
+// OptimizeModule, Options and MergeFunctions are deprecated shims over
+// the Optimizer, kept for source compatibility with the original facade.
 //
 // See examples/ for runnable end-to-end programs and DESIGN.md for the
 // system inventory.
 package repro
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/driver"
 	"repro/internal/ir"
 	"repro/internal/irtext"
-	"repro/internal/transform"
 )
 
 // Re-exported substrate types. The ir package is internal; these aliases
@@ -67,17 +74,6 @@ const (
 	Thumb = costmodel.Thumb
 )
 
-// Options configures OptimizeModule.
-type Options struct {
-	// Algorithm is the merging technique (default SalSSA).
-	Algorithm Algorithm
-	// Threshold is the exploration threshold t: how many ranked
-	// candidate partners are tried per function (default 1).
-	Threshold int
-	// Target selects the size model (default X86_64).
-	Target Target
-}
-
 // ParseModule parses the textual IR dialect.
 func ParseModule(src string) (*Module, error) { return irtext.Parse(src) }
 
@@ -94,38 +90,49 @@ func EstimateSize(m *Module, target Target) int {
 	return costmodel.ModuleBytes(m, target)
 }
 
+// Options configures OptimizeModule.
+//
+// Deprecated: build an Optimizer with New and functional options
+// instead; Options reaches only three of the pipeline's knobs.
+type Options struct {
+	// Algorithm is the merging technique (default SalSSA).
+	Algorithm Algorithm
+	// Threshold is the exploration threshold t: how many ranked
+	// candidate partners are tried per function (default 1).
+	Threshold int
+	// Target selects the size model (default X86_64).
+	Target Target
+}
+
 // OptimizeModule runs function merging over m in place and returns the
 // report (committed merges, size reduction, phase timings).
+//
+// Deprecated: use New(...).Optimize(ctx, m), which adds cancellation,
+// parallel planning, progress observation and the remaining pipeline
+// knobs. OptimizeModule is equivalent to a serial Optimizer run.
 func OptimizeModule(m *Module, opts Options) *Report {
-	if opts.Threshold <= 0 {
-		opts.Threshold = 1
+	// Start from New's defaults (it cannot fail without options), then
+	// override directly: the old facade accepted any Algorithm/Target
+	// value, so the validating option constructors are bypassed.
+	o, _ := New()
+	o.algorithm = opts.Algorithm
+	o.threshold = opts.Threshold
+	o.target = opts.Target
+	if o.threshold <= 0 {
+		o.threshold = 1
 	}
-	return driver.Run(m, driver.Config{
-		Algorithm: opts.Algorithm,
-		Threshold: opts.Threshold,
-		Target:    opts.Target,
-	})
+	rep, _ := o.Optimize(context.Background(), m)
+	return rep
 }
 
 // MergeFunctions merges the two named functions of m with SalSSA,
 // unconditionally (no profitability check), and replaces the originals
 // with forwarding thunks. It returns the merged function and the
 // generator statistics.
+//
+// Deprecated: use New(...).MergePair(ctx, m, name1, name2), which adds
+// cancellation and honours the Optimizer's alignment options.
 func MergeFunctions(m *Module, name1, name2 string) (*Function, *MergeStats, error) {
-	f1, f2 := m.FuncByName(name1), m.FuncByName(name2)
-	if f1 == nil || f2 == nil {
-		return nil, nil, fmt.Errorf("repro: function %q or %q not found", name1, name2)
-	}
-	plan, err := core.PlanParams(f1, f2)
-	if err != nil {
-		return nil, nil, err
-	}
-	merged, stats, err := core.Merge(m, f1, f2, "merged."+name1+"."+name2, core.DefaultOptions())
-	if err != nil {
-		return nil, nil, err
-	}
-	transform.Simplify(merged)
-	core.BuildThunk(f1, merged, true, plan.Map1, plan)
-	core.BuildThunk(f2, merged, false, plan.Map2, plan)
-	return merged, stats, nil
+	o, _ := New()
+	return o.MergePair(context.Background(), m, name1, name2)
 }
