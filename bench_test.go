@@ -25,6 +25,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ir"
 	"repro/internal/irtext"
+	"repro/internal/search"
 	"repro/internal/synth"
 	"repro/internal/transform"
 )
@@ -202,6 +203,38 @@ func BenchmarkModulePipeline(b *testing.B) { benchModulePipeline(b, 1) }
 // so the delta against BenchmarkModulePipeline is pure planning speedup.
 func BenchmarkModulePipelineParallel(b *testing.B) {
 	benchModulePipeline(b, runtime.NumCPU())
+}
+
+// BenchmarkModulePipelineLSH is the serial pipeline with candidate
+// discovery served by the LSH finder instead of the brute-force scan;
+// the committed merge set is identical (the finder returns the same
+// top-t lists), so the delta against BenchmarkModulePipeline is pure
+// candidate-search speedup.
+func BenchmarkModulePipelineLSH(b *testing.B) {
+	base := pipelineModule()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := ir.CloneModule(base)
+		b.StartTimer()
+		driver.Run(m, driver.Config{Algorithm: driver.SalSSA, Threshold: 1,
+			Target: costmodel.X86_64, Finder: search.KindLSH})
+	}
+}
+
+// BenchmarkModulePipelineDupFold is the serial pipeline with duplicate
+// folding: identical clone families are collapsed into forwarders
+// before any alignment runs.
+func BenchmarkModulePipelineDupFold(b *testing.B) {
+	base := pipelineModule()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := ir.CloneModule(base)
+		b.StartTimer()
+		driver.Run(m, driver.Config{Algorithm: driver.SalSSA, Threshold: 1,
+			Target: costmodel.X86_64, DupFold: true})
+	}
 }
 
 // BenchmarkParsePrint round-trips the textual IR.

@@ -4,8 +4,8 @@
 //
 //	fmerge [-algo salssa|salssa-nopc|fmsa] [-t N] [-target x86-64|thumb]
 //	       [-linear-align] [-max-cells N] [-min-instrs N]
-//	       [-skip-hot f1,f2,...] [-jobs N] [-v]
-//	       [-print] [-pair f1,f2] file.ll
+//	       [-skip-hot f1,f2,...] [-finder exact|lsh] [-dup-fold]
+//	       [-jobs N] [-v] [-print] [-pair f1,f2] file.ll
 //
 // Without -pair, the whole-module pipeline runs (ranking + cost model);
 // with -pair, the named functions are merged unconditionally by the
@@ -24,10 +24,18 @@
 //	-min-instrs N   ignore functions smaller than N instructions
 //	-skip-hot list  comma-separated functions excluded from merging
 //	                (the paper's §5.7 hot-path remedy)
+//	-finder kind    candidate search: "exact" (brute-force ranking,
+//	                bit-identical merges to the original pipeline) or
+//	                "lsh" (sub-linear locality-sensitive index for
+//	                large modules)
+//	-dup-fold       fold structurally identical functions into
+//	                forwarding thunks before any alignment runs
 //	-jobs N         plan candidate merges with N parallel workers
 //	                (0 = all CPUs); the committed merges are identical
 //	                to a serial run
-//	-v              report per-stage progress on stderr
+//	-v              report per-stage progress on stderr, plus a
+//	                candidate-search summary (pairs tried, plan-cache
+//	                hits, finder query time)
 //
 // Interrupting fmerge (SIGINT/SIGTERM) cancels the pipeline cleanly:
 // already-committed merges are kept, the module still verifies, and the
@@ -45,6 +53,7 @@ import (
 	"syscall"
 
 	repro "repro"
+	"repro/internal/search"
 )
 
 func main() {
@@ -55,6 +64,8 @@ func main() {
 	maxCells := flag.Int64("max-cells", 0, "skip pairs whose alignment matrix exceeds N cells (0 = unlimited)")
 	minInstrs := flag.Int("min-instrs", 0, "ignore functions smaller than N instructions")
 	skipHot := flag.String("skip-hot", "", "comma-separated functions excluded from merging")
+	finder := flag.String("finder", "exact", "candidate search: exact or lsh")
+	dupFold := flag.Bool("dup-fold", false, "fold structurally identical functions into thunks before alignment")
 	jobs := flag.Int("jobs", 1, "parallel planning workers (0 = all CPUs)")
 	verbose := flag.Bool("v", false, "report per-stage progress on stderr")
 	print := flag.Bool("print", false, "print the resulting module to stdout")
@@ -93,6 +104,10 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
+	fk, err := search.KindByName(*finder)
+	if err != nil {
+		fatal(err)
+	}
 
 	opts := []repro.Option{
 		repro.WithAlgorithm(alg),
@@ -101,6 +116,8 @@ func main() {
 		repro.WithLinearAlign(*linearAlign),
 		repro.WithMaxCells(*maxCells),
 		repro.WithMinInstrs(*minInstrs),
+		repro.WithFinder(fk),
+		repro.WithDupFold(*dupFold),
 		repro.WithParallelism(*jobs),
 	}
 	if *skipHot != "" {
@@ -164,6 +181,23 @@ func main() {
 				status = "skipped"
 			}
 			fmt.Fprintf(os.Stderr, "  %-9s @%s + @%s (profit %d bytes)\n", status, rec.F1, rec.F2, rec.Profit)
+		}
+		if len(rep.Folds) > 0 {
+			fmt.Fprintf(os.Stderr, "%d duplicates folded without alignment\n", len(rep.Folds))
+			for _, fr := range rep.Folds {
+				fmt.Fprintf(os.Stderr, "  folded    @%s -> @%s (profit %d bytes)\n", fr.Dup, fr.Rep, fr.Profit)
+			}
+		}
+		if *verbose {
+			if rep.Planned > 0 {
+				fmt.Fprintf(os.Stderr, "search: finder=%s, %d pairs tried (%d plan-cache hits, %d lazy replans)\n",
+					*finder, rep.Attempts, rep.CacheHits, rep.Attempts-rep.CacheHits)
+			} else {
+				fmt.Fprintf(os.Stderr, "search: finder=%s, %d pairs tried (serial planning, no cache)\n",
+					*finder, rep.Attempts)
+			}
+			fmt.Fprintf(os.Stderr, "search: %d finder queries scanned %d candidates (avg %.1f/query) in %v\n",
+				rep.Search.Queries, rep.Search.Scanned, rep.Search.AvgScanned(), rep.Search.QueryTime)
 		}
 	}
 	if err := repro.VerifyModule(m); err != nil {

@@ -13,6 +13,11 @@
 // every size figure — are identical to a serial run, but keep -jobs 1
 // when regenerating the timing figures (23, 24) so the phase timers
 // measure the serial pipeline the paper describes.
+//
+// -finder selects the candidate search ("exact" or "lsh") and
+// -dup-fold folds identical functions before alignment. Both default to
+// the paper's pipeline (exact, no folding); regenerating figures with
+// either changed measures the extension, not the reproduction.
 package main
 
 import (
@@ -24,18 +29,26 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/search"
 )
 
 func main() {
 	scale := flag.Int("scale", 1, "divide benchmark sizes by N for quicker runs")
 	jobs := flag.Int("jobs", 1, "parallel planning workers (0 = all CPUs)")
+	finder := flag.String("finder", "exact", "candidate search: exact or lsh")
+	dupFold := flag.Bool("dup-fold", false, "fold structurally identical functions before alignment")
 	flag.Parse()
 	if *jobs == 0 {
 		*jobs = runtime.NumCPU()
 	}
+	kind, err := search.KindByName(*finder)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: repro [-scale N] [-jobs N] all | list | <experiment>...")
+		fmt.Fprintln(os.Stderr, "usage: repro [-scale N] [-jobs N] [-finder exact|lsh] [-dup-fold] all | list | <experiment>...")
 		fmt.Fprintln(os.Stderr, "experiments:", strings.Join(experiments.IDs(), " "))
 		os.Exit(2)
 	}
@@ -46,6 +59,8 @@ func main() {
 	lab := experiments.NewLab()
 	lab.Scale = *scale
 	lab.Jobs = *jobs
+	lab.Finder = kind
+	lab.DupFold = *dupFold
 	ids := args
 	if args[0] == "all" {
 		ids = experiments.IDs()

@@ -28,9 +28,9 @@ import (
 	"repro/internal/align"
 	"repro/internal/core"
 	"repro/internal/costmodel"
-	"repro/internal/fingerprint"
 	"repro/internal/fmsa"
 	"repro/internal/ir"
+	"repro/internal/search"
 	"repro/internal/transform"
 )
 
@@ -123,6 +123,16 @@ type Config struct {
 	SkipHot map[string]bool
 	// MinInstrs skips functions smaller than this (0 = keep all).
 	MinInstrs int
+	// Finder selects the candidate-search implementation (default
+	// search.KindExact, which reproduces the original pipeline's
+	// committed merge set bit-for-bit; search.KindLSH serves the same
+	// candidate lists sub-linearly from a locality-sensitive index).
+	Finder search.Kind
+	// DupFold folds structurally identical functions into forwarding
+	// thunks before any alignment runs: exact clone families are
+	// deduplicated for free (zero DP cells) and only their
+	// representative stays in the candidate set.
+	DupFold bool
 	// CommitFilter, when non-nil, decides whether the i-th profitable
 	// merge is committed (used by the Figure 19 isolation study).
 	CommitFilter func(i int) bool
@@ -152,6 +162,14 @@ type MergeRecord struct {
 	Committed      bool
 }
 
+// FoldRecord describes one duplicate fold: Dup's body was replaced by a
+// forwarder to the structurally identical Rep, saving Profit bytes
+// without spending a single alignment DP cell.
+type FoldRecord struct {
+	Dup, Rep string
+	Profit   int
+}
+
 // Result reports what a merging run did.
 type Result struct {
 	Algorithm Algorithm
@@ -161,12 +179,20 @@ type Result struct {
 	BaselineBytes, FinalBytes int
 	// Merges lists profitable merge operations in commit order.
 	Merges []MergeRecord
+	// Folds lists the duplicate folds performed before alignment
+	// (Config.DupFold), in fold order.
+	Folds []FoldRecord
 	// Attempts counts merge trials the commit stage consumed (including
 	// unprofitable ones).
 	Attempts int
 	// Planned counts the speculative trials executed by the parallel
 	// planning stage (0 for serial runs).
 	Planned int
+	// CacheHits counts commit-stage trials served from the speculative
+	// plan cache (the rest were replanned lazily).
+	CacheHits int
+	// Search reports the candidate finder's query accounting.
+	Search search.Stats
 	// AlignTime and CodegenTime accumulate the two core phases
 	// (Figure 23); TotalTime is the whole run (Figure 24's overhead).
 	// Under parallel planning the phase times are summed across workers,
@@ -268,16 +294,22 @@ func RunContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) 
 		}
 		candidates = kept
 	}
-	ranking := fingerprint.NewRanking(candidates)
+	// Duplicate folding: structurally identical candidates collapse
+	// into forwarders to one representative before any alignment runs,
+	// and leave the candidate set.
+	if cfg.DupFold {
+		candidates = foldDuplicates(candidates, preSize, cfg, res)
+	}
+	finder := search.New(cfg.Finder, candidates)
 	opts := cfg.CoreOptions()
-	order := ranking.Order()
+	order := finder.Order()
 
 	// Planning stage: speculatively plan every ranked candidate pair in a
 	// worker pool. Trials are pure (clone + scratch module), so the only
 	// shared state they touch is read-only.
 	var pl *planner
 	if cfg.Parallelism > 1 {
-		pl = planAll(ctx, order, ranking, preSize, opts, cfg, progress)
+		pl = planAll(ctx, order, finder, preSize, opts, cfg, progress)
 		pl.wait()
 		res.Planned = pl.executed
 	}
@@ -314,7 +346,7 @@ commitLoop:
 			break
 		}
 		var best *trial
-		for _, f2 := range ranking.Candidates(f1, cfg.Threshold) {
+		for _, f2 := range finder.Candidates(f1, cfg.Threshold) {
 			if consumed[f2] {
 				continue
 			}
@@ -322,7 +354,9 @@ commitLoop:
 			if pl != nil {
 				t = pl.take(f1, f2)
 			}
-			if t == nil {
+			if t != nil {
+				res.CacheHits++
+			} else {
 				if err := ctx.Err(); err != nil {
 					runErr = err
 					discard(best)
@@ -378,8 +412,8 @@ commitLoop:
 			commit(f1, best.f2, best.merged)
 			consumed[f1] = true
 			consumed[best.f2] = true
-			ranking.Remove(f1)
-			ranking.Remove(best.f2)
+			finder.Remove(f1)
+			finder.Remove(best.f2)
 		}
 		res.Merges = append(res.Merges, rec)
 		mergeIdx++
@@ -396,6 +430,7 @@ commitLoop:
 	if cfg.Algorithm == FMSA {
 		fmsa.CleanupModule(m)
 	}
+	res.Search = finder.Stats()
 	res.FinalBytes = costmodel.ModuleBytes(m, cfg.Target)
 	res.TotalTime = time.Since(start)
 	return res, runErr

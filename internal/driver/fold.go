@@ -1,0 +1,45 @@
+package driver
+
+import (
+	"repro/internal/costmodel"
+	"repro/internal/ir"
+	"repro/internal/search"
+)
+
+// foldDuplicates collapses families of structurally identical candidate
+// functions before the merging pipeline proper: every duplicate becomes
+// a forwarder ("return rep(args...)") to its family representative and
+// leaves the candidate set, so exact clone families are deduplicated
+// without spending a single alignment DP cell. The representative stays
+// a candidate — near-clones of the family can still merge with it.
+//
+// Folding is deterministic (families follow candidate order) and runs
+// before speculative planning in both serial and parallel runs, so the
+// committed merge set remains parallelism-independent. Only profitable
+// folds are applied: a function already smaller than its forwarder is
+// left alone.
+func foldDuplicates(candidates []*ir.Function, preSize map[*ir.Function]int, cfg Config, res *Result) []*ir.Function {
+	folded := map[*ir.Function]bool{}
+	for _, fam := range search.Families(candidates) {
+		rep := fam[0]
+		for _, dup := range fam[1:] {
+			profit := preSize[dup] - costmodel.ThunkBytes(cfg.Target, len(dup.Params()))
+			if profit <= 0 {
+				continue
+			}
+			search.BuildForwarder(dup, rep)
+			folded[dup] = true
+			res.Folds = append(res.Folds, FoldRecord{Dup: dup.Name(), Rep: rep.Name(), Profit: profit})
+		}
+	}
+	if len(folded) == 0 {
+		return candidates
+	}
+	kept := make([]*ir.Function, 0, len(candidates)-len(folded))
+	for _, f := range candidates {
+		if !folded[f] {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}

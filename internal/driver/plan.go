@@ -5,8 +5,8 @@ import (
 	"sync"
 
 	"repro/internal/core"
-	"repro/internal/fingerprint"
 	"repro/internal/ir"
+	"repro/internal/search"
 )
 
 // pairKey identifies a directed candidate pair: (f1, f2) and (f2, f1)
@@ -33,10 +33,10 @@ type planner struct {
 // shift after commits are replanned lazily by the commit stage; pairs
 // planned here but never consumed are speculation waste (time and
 // transient memory), bounded by len(order) * Threshold trials.
-func planAll(ctx context.Context, order []*ir.Function, ranking *fingerprint.Ranking, preSize map[*ir.Function]int, opts core.Options, cfg Config, progress func(Progress)) *planner {
+func planAll(ctx context.Context, order []*ir.Function, finder search.Finder, preSize map[*ir.Function]int, opts core.Options, cfg Config, progress func(Progress)) *planner {
 	var keys []pairKey
 	for _, f1 := range order {
-		for _, f2 := range ranking.Candidates(f1, cfg.Threshold) {
+		for _, f2 := range finder.Candidates(f1, cfg.Threshold) {
 			keys = append(keys, pairKey{f1: f1, f2: f2})
 		}
 	}

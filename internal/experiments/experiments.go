@@ -15,6 +15,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/search"
 	"repro/internal/synth"
 	"repro/internal/transform"
 )
@@ -113,6 +114,15 @@ type Lab struct {
 	// figures are unchanged; the paper's timing figures (23, 24) should
 	// be regenerated serially to stay faithful.
 	Jobs int
+	// Finder selects the candidate-search implementation. Both kinds
+	// return the same candidate lists (the LSH finder's
+	// branch-and-bound is exact), so the figures are unchanged; the
+	// default stays exact because it is the pipeline the paper
+	// describes.
+	Finder search.Kind
+	// DupFold folds structurally identical functions before alignment.
+	// Off by default: the paper's pipeline aligns clone families too.
+	DupFold bool
 	// Target for SPEC experiments (x86-64); MiBench uses Thumb.
 	seedModules map[string]*ir.Module
 }
@@ -165,6 +175,8 @@ func (l *Lab) run(suite string, p synth.Profile, algo driver.Algorithm, t int, t
 		Algorithm:   algo,
 		Threshold:   t,
 		Target:      target,
+		Finder:      l.Finder,
+		DupFold:     l.DupFold,
 		Parallelism: l.Jobs,
 	})
 	e := &runEntry{res: res, pre: pristine, post: work, baseTime: baseTime}

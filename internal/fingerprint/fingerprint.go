@@ -84,18 +84,38 @@ func min32(a, b int32) int32 {
 type Ranking struct {
 	mu    sync.RWMutex
 	funcs []*ir.Function
-	fps   map[*ir.Function]*Fingerprint
+	// present indexes funcs so Add's membership check is O(1), not a
+	// linear rescan of the candidate list per re-Add.
+	present map[*ir.Function]bool
+	fps     map[*ir.Function]*Fingerprint
 }
 
-// NewRanking fingerprints every defined function in the list.
+// NewRanking fingerprints every defined function in the list. Duplicate
+// entries are dropped.
 func NewRanking(funcs []*ir.Function) *Ranking {
-	r := &Ranking{funcs: funcs, fps: make(map[*ir.Function]*Fingerprint, len(funcs))}
+	r := &Ranking{
+		present: make(map[*ir.Function]bool, len(funcs)),
+		fps:     make(map[*ir.Function]*Fingerprint, len(funcs)),
+	}
 	for _, f := range funcs {
+		if r.present[f] {
+			continue
+		}
+		r.present[f] = true
+		r.funcs = append(r.funcs, f)
 		if !f.IsDecl() {
 			r.fps[f] = New(f)
 		}
 	}
 	return r
+}
+
+// Live returns the number of fingerprinted candidates (functions that
+// would appear in Order and candidate lists).
+func (r *Ranking) Live() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.fps)
 }
 
 // Remove drops f from future candidate lists (it was merged away).
@@ -109,14 +129,8 @@ func (r *Ranking) Remove(f *ir.Function) {
 func (r *Ranking) Add(f *ir.Function) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	present := false
-	for _, g := range r.funcs {
-		if g == f {
-			present = true
-			break
-		}
-	}
-	if !present {
+	if !r.present[f] {
+		r.present[f] = true
 		r.funcs = append(r.funcs, f)
 	}
 	r.fps[f] = New(f)

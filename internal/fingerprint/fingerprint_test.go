@@ -132,3 +132,35 @@ func TestThresholdLimitsCandidates(t *testing.T) {
 		t.Errorf("t=100 returned %d candidates, want 4", got)
 	}
 }
+
+// TestAddDedupes: re-adding a present function must not duplicate it in
+// the candidate pool (Add keeps an index map, so the membership check is
+// O(1) rather than a scan of every candidate).
+func TestAddDedupes(t *testing.T) {
+	m := fig2(t)
+	f1, f2 := m.FuncByName("F1"), m.FuncByName("F2")
+	r := NewRanking(m.Defined())
+	for i := 0; i < 3; i++ {
+		r.Add(f2) // already present
+	}
+	if c := r.Candidates(f1, 10); len(c) != 1 {
+		t.Fatalf("re-Add duplicated the candidate: %v", c)
+	}
+	if o := r.Order(); len(o) != 2 {
+		t.Fatalf("re-Add duplicated the order: %d entries", len(o))
+	}
+}
+
+// TestNewRankingDedupes: duplicate entries in the input list are
+// dropped.
+func TestNewRankingDedupes(t *testing.T) {
+	m := fig2(t)
+	f1, f2 := m.FuncByName("F1"), m.FuncByName("F2")
+	r := NewRanking([]*ir.Function{f1, f2, f1, f2})
+	if c := r.Candidates(f1, 10); len(c) != 1 {
+		t.Fatalf("duplicate input inflated candidates: %v", c)
+	}
+	if o := r.Order(); len(o) != 2 {
+		t.Fatalf("duplicate input inflated order: %d entries", len(o))
+	}
+}

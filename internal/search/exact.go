@@ -1,0 +1,64 @@
+package search
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/ir"
+)
+
+// Exact is the brute-force Finder: a thin accounting layer over
+// fingerprint.Ranking. Candidate lists are bit-identical to the
+// original pipeline's, so runs configured with KindExact reproduce the
+// historical committed merge set exactly.
+type Exact struct {
+	r *fingerprint.Ranking
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewExact indexes every defined function in funcs.
+func NewExact(funcs []*ir.Function) *Exact {
+	return &Exact{r: fingerprint.NewRanking(funcs)}
+}
+
+// Order returns the functions sorted largest-first.
+func (e *Exact) Order() []*ir.Function { return e.r.Order() }
+
+// Candidates returns the exact top-t list for f by fingerprint distance.
+func (e *Exact) Candidates(f *ir.Function, t int) []*ir.Function {
+	start := time.Now()
+	out := e.r.Candidates(f, t)
+	scanned := e.r.Live() - 1 // every live fingerprint except f's
+	e.mu.Lock()
+	e.stats.Queries++
+	if scanned > 0 {
+		e.stats.Scanned += scanned
+	}
+	e.stats.QueryTime += time.Since(start)
+	e.mu.Unlock()
+	return out
+}
+
+// Add (re-)indexes f.
+func (e *Exact) Add(f *ir.Function) {
+	if f.IsDecl() {
+		return
+	}
+	e.r.Add(f)
+}
+
+// Remove drops f from future candidate lists.
+func (e *Exact) Remove(f *ir.Function) { e.r.Remove(f) }
+
+// Stats returns the accumulated accounting. Indexed reflects the
+// ranking's current live count, so re-Adds cannot skew it.
+func (e *Exact) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.stats
+	st.Indexed = e.r.Live()
+	return st
+}

@@ -1,0 +1,374 @@
+package search
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/ir"
+)
+
+// LSH tuning. Each function is summarised as a weighted feature set of
+// opcode bigrams (consecutive instructions within a block; occurrences
+// unary-encoded and capped) plus block count, sketched with
+// one-permutation minhash into lshHashes slots, and the sketch is cut
+// into lshBands bands of lshRows rows each. Functions sharing any band
+// key are bucket neighbours. Bigrams — unlike raw opcode counts, which
+// barely differ across a compiler's output — separate unrelated
+// functions sharply while clone families keep near-identical feature
+// sets: a pair with bigram-Jaccard J shares a band with probability
+// 1-(1-J^r)^b, which at r=4, b=8 is >97% for J >= 0.8 and <3% for
+// J <= 0.4.
+const (
+	// lshSlotBits sizes the signature: one-permutation hashing routes
+	// each feature to a slot by its top lshSlotBits bits, so lshHashes
+	// is derived and stays a power of two by construction.
+	lshSlotBits = 5
+	lshHashes   = 1 << lshSlotBits
+	lshRows     = 4
+	lshBands    = lshHashes / lshRows
+	lshCountCap = 8
+)
+
+// LSH is the locality-sensitive Finder: Candidates queries answered
+// from banded minhash buckets plus a size-bounded branch-and-bound,
+// with incremental Add/Remove as merges commit. The returned lists are
+// the exact fingerprint top-t — identical to Exact's — but each query
+// scores only the bucket neighbours and the size window the pruning
+// bound cannot exclude, instead of every live function.
+type LSH struct {
+	mu    sync.RWMutex
+	fps   map[*ir.Function]*fingerprint.Fingerprint
+	keys  map[*ir.Function][]uint64 // band keys, len lshBands
+	bands []map[uint64][]*ir.Function
+	// bySize is sorted by (fingerprint size, name): the deterministic
+	// fallback pool when a query's buckets run sparse, exploiting
+	// Distance(a, b) >= |a.Size - b.Size|.
+	bySize []*ir.Function
+	stats  Stats
+}
+
+// NewLSH indexes every defined function in funcs. The bulk build
+// appends to the size-sorted list and sorts once at the end — O(n log n)
+// — rather than paying Add's per-function sorted insertion, which would
+// make construction quadratic on large modules.
+func NewLSH(funcs []*ir.Function) *LSH {
+	l := &LSH{
+		fps:   make(map[*ir.Function]*fingerprint.Fingerprint, len(funcs)),
+		keys:  make(map[*ir.Function][]uint64, len(funcs)),
+		bands: make([]map[uint64][]*ir.Function, lshBands),
+	}
+	for i := range l.bands {
+		l.bands[i] = map[uint64][]*ir.Function{}
+	}
+	for _, f := range funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if _, ok := l.fps[f]; ok {
+			continue // duplicate input entry
+		}
+		l.indexLocked(f)
+		l.bySize = append(l.bySize, f)
+	}
+	sort.SliceStable(l.bySize, func(i, j int) bool { return l.sizeLess(l.bySize[i], l.bySize[j]) })
+	return l
+}
+
+// splitmix64 finalizer: the feature hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// sketch computes the one-permutation minhash signature of f's bigram
+// feature set and folds it into band keys: each feature is hashed once,
+// routed to a signature slot by its top bits, and each slot keeps its
+// minimum.
+func sketch(f *ir.Function) []uint64 {
+	const empty = ^uint64(0)
+	var sig [lshHashes]uint64
+	for i := range sig {
+		sig[i] = empty
+	}
+	feed := func(feature uint64) {
+		h := mix64(feature)
+		slot := h >> (64 - lshSlotBits)
+		if h < sig[slot] {
+			sig[slot] = h
+		}
+	}
+	// Opcode bigrams, occurrence-capped so one hot pair cannot dominate
+	// the sketch. Occurrence counts are tracked per bigram key to keep
+	// the set weighted (two of the same pair is a different set than
+	// one).
+	occ := map[uint64]uint64{}
+	for _, b := range f.Blocks {
+		instrs := b.Instrs()
+		for i := range instrs {
+			key := uint64(instrs[i].Op())
+			if i+1 < len(instrs) {
+				key = key<<8 | uint64(instrs[i+1].Op())
+			} else {
+				key = key << 8 // block-final instruction: unigram feature
+			}
+			n := occ[key]
+			if n >= lshCountCap {
+				continue
+			}
+			occ[key] = n + 1
+			feed(key<<8 | n)
+		}
+	}
+	nb := uint64(len(f.Blocks))
+	if nb > lshCountCap {
+		nb = lshCountCap
+	}
+	for i := uint64(0); i < nb; i++ {
+		feed(1<<40 | i)
+	}
+	// Rotation densification: an empty slot borrows the next non-empty
+	// slot's value (mixed with the distance travelled), keeping sketches
+	// of sparse feature sets comparable.
+	for i := range sig {
+		if sig[i] != empty {
+			continue
+		}
+		for d := 1; d < lshHashes; d++ {
+			j := (i + d) % lshHashes
+			if sig[j] != empty {
+				sig[i] = mix64(sig[j] + uint64(d))
+				break
+			}
+		}
+	}
+	keys := make([]uint64, lshBands)
+	for b := 0; b < lshBands; b++ {
+		h := uint64(fnvOffset) ^ uint64(b)
+		for r := 0; r < lshRows; r++ {
+			h ^= sig[b*lshRows+r]
+			h *= fnvPrime
+		}
+		keys[b] = h
+	}
+	return keys
+}
+
+// sizeLess orders the fallback pool by (size, name).
+func (l *LSH) sizeLess(a, b *ir.Function) bool {
+	sa, sb := l.fps[a].Size, l.fps[b].Size
+	if sa != sb {
+		return sa < sb
+	}
+	return a.Name() < b.Name()
+}
+
+// indexLocked fingerprints and sketches f into the maps and band
+// buckets; the caller maintains bySize.
+func (l *LSH) indexLocked(f *ir.Function) {
+	fp := fingerprint.New(f)
+	l.fps[f] = fp
+	keys := sketch(f)
+	l.keys[f] = keys
+	for b, k := range keys {
+		l.bands[b][k] = append(l.bands[b][k], f)
+	}
+	l.stats.Indexed++
+}
+
+// Add (re-)indexes f incrementally (a sorted insertion into the size
+// list; bulk construction goes through NewLSH instead).
+func (l *LSH) Add(f *ir.Function) {
+	if f.IsDecl() {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.fps[f]; ok {
+		l.removeLocked(f)
+	}
+	l.indexLocked(f)
+	i := sort.Search(len(l.bySize), func(i int) bool { return !l.sizeLess(l.bySize[i], f) })
+	l.bySize = append(l.bySize, nil)
+	copy(l.bySize[i+1:], l.bySize[i:])
+	l.bySize[i] = f
+}
+
+// Remove drops f from future candidate lists.
+func (l *LSH) Remove(f *ir.Function) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.removeLocked(f)
+}
+
+func (l *LSH) removeLocked(f *ir.Function) {
+	if _, ok := l.fps[f]; !ok {
+		return
+	}
+	for b, k := range l.keys[f] {
+		bucket := l.bands[b][k]
+		for i, g := range bucket {
+			if g == f {
+				bucket = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(l.bands[b], k)
+		} else {
+			l.bands[b][k] = bucket
+		}
+	}
+	i := sort.Search(len(l.bySize), func(i int) bool { return !l.sizeLess(l.bySize[i], f) })
+	for ; i < len(l.bySize); i++ {
+		if l.bySize[i] == f {
+			l.bySize = append(l.bySize[:i], l.bySize[i+1:]...)
+			break
+		}
+	}
+	delete(l.fps, f)
+	delete(l.keys, f)
+	l.stats.Indexed--
+}
+
+// Candidates returns up to t candidate partners for f: the true
+// fingerprint top-t, found without a full scan. The band buckets seed
+// the running top-t with near neighbours (clone relatives land there
+// with overwhelming probability), which tightens the pruning radius
+// immediately; a branch-and-bound walk outward through the size-sorted
+// list then scores only functions whose size difference — a lower bound
+// on fingerprint distance — could still beat the current t-th best.
+// Everything skipped is provably worse, so the result matches Exact's
+// list; only the work is sub-linear (on modules with any size spread).
+func (l *LSH) Candidates(f *ir.Function, t int) []*ir.Function {
+	start := time.Now()
+	l.mu.RLock()
+	self := l.fps[f]
+	var out []*ir.Function
+	scanned := 0
+	if self != nil && t > 0 {
+		type scored struct {
+			fn *ir.Function
+			d  int32
+		}
+		// best holds the running top-t ordered by (distance, name) — the
+		// same total order Exact's sort uses.
+		best := make([]scored, 0, t+1)
+		before := func(a, b scored) bool {
+			if a.d != b.d {
+				return a.d < b.d
+			}
+			return a.fn.Name() < b.fn.Name()
+		}
+		seen := map[*ir.Function]bool{f: true}
+		score := func(g *ir.Function) {
+			seen[g] = true
+			scanned++
+			s := scored{fn: g, d: fingerprint.Distance(self, l.fps[g])}
+			pos := sort.Search(len(best), func(i int) bool { return before(s, best[i]) })
+			if pos == len(best) {
+				if len(best) < t {
+					best = append(best, s)
+				}
+				return
+			}
+			best = append(best, scored{})
+			copy(best[pos+1:], best[pos:])
+			best[pos] = s
+			if len(best) > t {
+				best = best[:t]
+			}
+		}
+		// Radius beyond which no unscored candidate can enter the top-t.
+		// The walk continues on equality: a tie on distance could still
+		// win on the name tie-break.
+		radius := func() int32 {
+			if len(best) < t {
+				return 1<<31 - 1
+			}
+			return best[len(best)-1].d
+		}
+		for b, k := range l.keys[f] {
+			for _, g := range l.bands[b][k] {
+				if !seen[g] {
+					score(g)
+				}
+			}
+		}
+		i := sort.Search(len(l.bySize), func(i int) bool { return !l.sizeLess(l.bySize[i], f) })
+		lo, hi := i-1, i
+		for lo >= 0 || hi < len(l.bySize) {
+			dLo, dHi := int32(1<<31-1), int32(1<<31-1)
+			if lo >= 0 {
+				dLo = abs32(l.fps[l.bySize[lo]].Size - self.Size)
+			}
+			if hi < len(l.bySize) {
+				dHi = abs32(l.fps[l.bySize[hi]].Size - self.Size)
+			}
+			if dLo <= dHi {
+				if dLo > radius() {
+					break
+				}
+				if g := l.bySize[lo]; !seen[g] {
+					score(g)
+				}
+				lo--
+			} else {
+				if dHi > radius() {
+					break
+				}
+				if g := l.bySize[hi]; !seen[g] {
+					score(g)
+				}
+				hi++
+			}
+		}
+		out = make([]*ir.Function, len(best))
+		for i, s := range best {
+			out[i] = s.fn
+		}
+	}
+	l.mu.RUnlock()
+
+	l.mu.Lock()
+	l.stats.Queries++
+	l.stats.Scanned += scanned
+	l.stats.QueryTime += time.Since(start)
+	l.mu.Unlock()
+	return out
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Order returns the indexed functions sorted largest-first by
+// instruction count (ties by name), matching Exact's attempt order.
+func (l *LSH) Order() []*ir.Function {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := append([]*ir.Function(nil), l.bySize...)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := l.fps[out[i]].Size, l.fps[out[j]].Size
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}
+
+// Stats returns the accumulated accounting.
+func (l *LSH) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}

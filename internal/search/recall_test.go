@@ -1,0 +1,64 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// recallAgainstExact builds both finders over the same function set and
+// measures how much of the exact top-t lists the LSH finder recovers,
+// averaged over every query function.
+func recallAgainstExact(t *testing.T, p synth.Profile, topT int) float64 {
+	t.Helper()
+	m := synth.Generate(p)
+	funcs := m.Defined()
+	exact := NewExact(funcs)
+	lsh := NewLSH(funcs)
+	var hits, total int
+	for _, f := range exact.Order() {
+		want := exact.Candidates(f, topT)
+		if len(want) == 0 {
+			continue
+		}
+		got := map[string]bool{}
+		for _, g := range lsh.Candidates(f, topT) {
+			got[g.Name()] = true
+		}
+		for _, g := range want {
+			total++
+			if got[g.Name()] {
+				hits++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatalf("%s: no candidate lists to compare", p.Name)
+	}
+	return float64(hits) / float64(total)
+}
+
+// TestLSHRecall is the ISSUE's acceptance property: on synthetic
+// benchmark suites the LSH finder must recover at least 90% of the
+// exact finder's top-t candidate lists. Profiles cover template-heavy
+// (large low-divergence clone families), C-like (fewer, noisier
+// families) and mostly-unrelated modules.
+func TestLSHRecall(t *testing.T) {
+	profiles := []synth.Profile{
+		{Name: "templates", Seed: 101, Funcs: 160, MinSize: 4, AvgSize: 50, MaxSize: 300,
+			CloneFrac: 0.36, FamilySize: 4, MutRate: 0.04, Loops: 0.5, Floats: 0.25},
+		{Name: "clike", Seed: 102, Funcs: 140, MinSize: 4, AvgSize: 44, MaxSize: 300,
+			CloneFrac: 0.14, FamilySize: 3, MutRate: 0.12, Loops: 0.5, Switches: 0.8},
+		{Name: "sparse", Seed: 103, Funcs: 120, MinSize: 6, AvgSize: 48, MaxSize: 260,
+			CloneFrac: 0.05, FamilySize: 2, MutRate: 0.12, Loops: 0.6},
+	}
+	for _, p := range profiles {
+		for _, topT := range []int{1, 5} {
+			r := recallAgainstExact(t, p, topT)
+			t.Logf("%s t=%d: recall %.3f", p.Name, topT, r)
+			if r < 0.90 {
+				t.Errorf("%s t=%d: LSH recall %.3f < 0.90", p.Name, topT, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package search supplies merge candidates to the driver: given the
+// module's defined functions, which pairs are worth aligning? Two
+// implementations sit behind the Finder interface:
+//
+//   - Exact wraps fingerprint.Ranking, scanning every live function per
+//     query. Its candidate lists — and therefore the committed merge set —
+//     are bit-identical to the original pipeline at any parallelism.
+//   - LSH indexes banded minhash sketches over opcode bigrams. A query
+//     seeds its top-t from the sketch buckets (clone relatives land
+//     there with overwhelming probability), then finishes with a
+//     branch-and-bound walk over a size-sorted list — the size
+//     difference lower-bounds the fingerprint distance, so everything
+//     skipped is provably worse. Queries return the exact top-t while
+//     scoring a fraction of the module; candidate discovery stops being
+//     the O(n²) bottleneck.
+//
+// The package also provides stable structural hashing (HashFunction) and
+// duplicate detection (Families, EqualFunctions, BuildForwarder): exact
+// clones are folded into forwarding thunks before any alignment runs, so
+// identical-function families cost zero DP cells.
+package search
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ir"
+)
+
+// Finder answers candidate queries over a set of functions. The driver
+// consumes one Finder per run for both the planning and the commit
+// stage. Implementations are safe for concurrent use (reads may run
+// concurrently; writes are serialized against them).
+type Finder interface {
+	// Order returns the indexed functions sorted largest-first (the
+	// order in which merging is attempted, paper §5.5).
+	Order() []*ir.Function
+	// Candidates returns up to t candidate partners for f, most
+	// promising first. f itself and removed functions are never
+	// returned.
+	Candidates(f *ir.Function, t int) []*ir.Function
+	// Add (re-)indexes f as a candidate.
+	Add(f *ir.Function)
+	// Remove drops f from future candidate lists (it was merged away).
+	Remove(f *ir.Function)
+	// Stats returns the accumulated query accounting.
+	Stats() Stats
+}
+
+// Stats accounts for the work a Finder did. The driver folds it into the
+// run report; cmd/fmerge -v prints it.
+type Stats struct {
+	// Queries counts Candidates calls.
+	Queries int
+	// Scanned counts candidate fingerprints scored across all queries
+	// (for Exact this is every live function per query; for LSH only
+	// the bucket survivors).
+	Scanned int
+	// QueryTime accumulates wall-clock time spent inside Candidates.
+	QueryTime time.Duration
+	// Indexed is the number of functions currently indexed.
+	Indexed int
+}
+
+// AvgScanned returns the mean number of candidates scored per query.
+func (s Stats) AvgScanned() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Scanned) / float64(s.Queries)
+}
+
+// Kind selects a Finder implementation.
+type Kind int
+
+// Supported finders.
+const (
+	// KindExact is the brute-force fingerprint ranking (the paper's
+	// §5.1 pipeline): exact top-t lists, O(n) scan per query.
+	KindExact Kind = iota
+	// KindLSH is the locality-sensitive index over banded fingerprint
+	// sketches: the same top-t lists from sub-linear query work.
+	KindLSH
+)
+
+// String names the finder kind as used by the -finder flag.
+func (k Kind) String() string {
+	if k == KindLSH {
+		return "lsh"
+	}
+	return "exact"
+}
+
+// KindByName parses a -finder flag value.
+func KindByName(name string) (Kind, error) {
+	switch name {
+	case "exact":
+		return KindExact, nil
+	case "lsh":
+		return KindLSH, nil
+	}
+	return 0, fmt.Errorf("search: unknown finder %q (want exact or lsh)", name)
+}
+
+// New builds the Finder of the given kind over funcs (declarations are
+// ignored).
+func New(kind Kind, funcs []*ir.Function) Finder {
+	if kind == KindLSH {
+		return NewLSH(funcs)
+	}
+	return NewExact(funcs)
+}

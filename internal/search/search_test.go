@@ -1,0 +1,269 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/synth"
+)
+
+func parse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := irtext.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m
+}
+
+// twoRenamed is a pair of functions identical up to every local name
+// (registers, blocks, parameters), plus a third with one different
+// constant.
+const twoRenamed = `
+declare i32 @ext(i32)
+
+define i32 @a(i32 %n) {
+entry:
+  %x = add i32 %n, 7
+  %c = icmp slt i32 %x, 0
+  br i1 %c, label %neg, label %pos
+neg:
+  %y = call i32 @ext(i32 %x)
+  br label %pos
+pos:
+  %p = phi i32 [ %x, %entry ], [ %y, %neg ]
+  ret i32 %p
+}
+
+define i32 @b(i32 %m) {
+start:
+  %u = add i32 %m, 7
+  %cc = icmp slt i32 %u, 0
+  br i1 %cc, label %below, label %above
+below:
+  %v = call i32 @ext(i32 %u)
+  br label %above
+above:
+  %q = phi i32 [ %u, %start ], [ %v, %below ]
+  ret i32 %q
+}
+
+define i32 @c(i32 %n) {
+entry:
+  %x = add i32 %n, 8
+  %c = icmp slt i32 %x, 0
+  br i1 %c, label %neg, label %pos
+neg:
+  %y = call i32 @ext(i32 %x)
+  br label %pos
+pos:
+  %p = phi i32 [ %x, %entry ], [ %y, %neg ]
+  ret i32 %p
+}
+`
+
+func TestHashIgnoresLocalNames(t *testing.T) {
+	m := parse(t, twoRenamed)
+	a, b, c := m.FuncByName("a"), m.FuncByName("b"), m.FuncByName("c")
+	if HashFunction(a) != HashFunction(b) {
+		t.Error("renamed clones hash differently")
+	}
+	if HashFunction(a) == HashFunction(c) {
+		t.Error("functions with different constants hash equal")
+	}
+	if !EqualFunctions(a, b) {
+		t.Error("renamed clones not structurally equal")
+	}
+	if EqualFunctions(a, c) {
+		t.Error("functions with different constants reported equal")
+	}
+}
+
+// selfRecursive: two renamed self-recursive functions must hash equal
+// (the self-reference canonicalizes to "self", not the symbol name).
+const selfRecursive = `
+define i32 @fact(i32 %n) {
+entry:
+  %c = icmp sle i32 %n, 1
+  br i1 %c, label %base, label %rec
+base:
+  ret i32 1
+rec:
+  %n1 = sub i32 %n, 1
+  %r = call i32 @fact(i32 %n1)
+  %p = mul i32 %n, %r
+  ret i32 %p
+}
+
+define i32 @fact2(i32 %k) {
+e:
+  %cc = icmp sle i32 %k, 1
+  br i1 %cc, label %b, label %r
+b:
+  ret i32 1
+r:
+  %k1 = sub i32 %k, 1
+  %rr = call i32 @fact2(i32 %k1)
+  %pp = mul i32 %k, %rr
+  ret i32 %pp
+}
+`
+
+func TestSelfRecursiveClonesMatch(t *testing.T) {
+	m := parse(t, selfRecursive)
+	f, g := m.FuncByName("fact"), m.FuncByName("fact2")
+	if HashFunction(f) != HashFunction(g) {
+		t.Error("renamed self-recursive clones hash differently")
+	}
+	if !EqualFunctions(f, g) {
+		t.Error("renamed self-recursive clones not structurally equal")
+	}
+}
+
+func TestHashStableUnderClone(t *testing.T) {
+	m := synth.Generate(synth.Profile{
+		Name: "h", Seed: 5, Funcs: 8, MinSize: 10, AvgSize: 40, MaxSize: 90,
+		CloneFrac: 0.5, FamilySize: 2, MutRate: 0, Loops: 0.5, Switches: 0.4,
+	})
+	for _, f := range m.Defined() {
+		clone, _ := ir.CloneFunction(f, f.Name()+".c")
+		if HashFunction(f) != HashFunction(clone) {
+			t.Errorf("@%s: clone hash differs", f.Name())
+		}
+		if !EqualFunctions(f, clone) {
+			t.Errorf("@%s: clone not structurally equal", f.Name())
+		}
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	m := parse(t, twoRenamed)
+	a, b, c := m.FuncByName("a"), m.FuncByName("b"), m.FuncByName("c")
+	fams := Families([]*ir.Function{a, b, c})
+	if len(fams) != 1 {
+		t.Fatalf("got %d families, want 1", len(fams))
+	}
+	if len(fams[0]) != 2 || fams[0][0] != a || fams[0][1] != b {
+		t.Fatalf("family = %v, want [a b] with a as representative", names(fams[0]))
+	}
+}
+
+func names(fs []*ir.Function) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Name()
+	}
+	return out
+}
+
+// TestForwarderPreservesBehaviour folds b into a forwarder to a and
+// differentially checks the fold on deterministic inputs.
+func TestForwarderPreservesBehaviour(t *testing.T) {
+	orig := parse(t, twoRenamed)
+	folded := parse(t, twoRenamed)
+	BuildForwarder(folded.FuncByName("b"), folded.FuncByName("a"))
+	if err := ir.VerifyModule(folded); err != nil {
+		t.Fatalf("folded module does not verify: %v", err)
+	}
+	of, nf := orig.FuncByName("b"), folded.FuncByName("b")
+	for seed := int64(1); seed <= 8; seed++ {
+		a := interp.Run(nil, of, interp.ArgsFor(of, seed))
+		b := interp.Run(nil, nf, interp.ArgsFor(nf, seed))
+		if same, why := interp.SameBehavior(a, b); !same {
+			t.Fatalf("forwarder changed behaviour (seed %d): %s", seed, why)
+		}
+	}
+}
+
+func TestForwarderSelfRecursive(t *testing.T) {
+	orig := parse(t, selfRecursive)
+	folded := parse(t, selfRecursive)
+	BuildForwarder(folded.FuncByName("fact2"), folded.FuncByName("fact"))
+	if err := ir.VerifyModule(folded); err != nil {
+		t.Fatalf("folded module does not verify: %v", err)
+	}
+	of, nf := orig.FuncByName("fact2"), folded.FuncByName("fact2")
+	for seed := int64(1); seed <= 8; seed++ {
+		a := interp.Run(nil, of, interp.ArgsFor(of, seed))
+		b := interp.Run(nil, nf, interp.ArgsFor(nf, seed))
+		if same, why := interp.SameBehavior(a, b); !same {
+			t.Fatalf("forwarder changed behaviour (seed %d): %s", seed, why)
+		}
+	}
+}
+
+// TestFinderContract exercises Add/Remove/Candidates symmetry on both
+// implementations.
+func TestFinderContract(t *testing.T) {
+	m := synth.Generate(synth.Profile{
+		Name: "fc", Seed: 9, Funcs: 30, MinSize: 8, AvgSize: 40, MaxSize: 100,
+		CloneFrac: 0.6, FamilySize: 3, MutRate: 0.05, Loops: 0.5,
+	})
+	funcs := m.Defined()
+	for _, kind := range []Kind{KindExact, KindLSH} {
+		t.Run(kind.String(), func(t *testing.T) {
+			fd := New(kind, funcs)
+			order := fd.Order()
+			if len(order) != len(funcs) {
+				t.Fatalf("Order returned %d functions, want %d", len(order), len(funcs))
+			}
+			f := order[0]
+			cands := fd.Candidates(f, 5)
+			if len(cands) == 0 {
+				t.Fatalf("no candidates for @%s", f.Name())
+			}
+			for _, g := range cands {
+				if g == f {
+					t.Fatalf("candidate list for @%s contains itself", f.Name())
+				}
+			}
+			// Removing a candidate must drop it from future lists.
+			gone := cands[0]
+			fd.Remove(gone)
+			for _, g := range fd.Candidates(f, len(funcs)) {
+				if g == gone {
+					t.Fatalf("removed function @%s still returned", gone.Name())
+				}
+			}
+			// Re-adding restores it.
+			fd.Add(gone)
+			found := false
+			for _, g := range fd.Candidates(f, len(funcs)) {
+				if g == gone {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("re-added function @%s not returned", gone.Name())
+			}
+			st := fd.Stats()
+			if st.Queries != 3 {
+				t.Errorf("stats queries = %d, want 3", st.Queries)
+			}
+			if st.Indexed != len(funcs) {
+				t.Errorf("stats indexed = %d, want %d", st.Indexed, len(funcs))
+			}
+			if st.QueryTime <= 0 {
+				t.Errorf("stats query time not accumulated")
+			}
+		})
+	}
+}
+
+func TestKindByName(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kind
+		ok   bool
+	}{{"exact", KindExact, true}, {"lsh", KindLSH, true}, {"bogus", 0, false}} {
+		got, err := KindByName(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("KindByName(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if KindExact.String() != "exact" || KindLSH.String() != "lsh" {
+		t.Error("Kind.String mismatch")
+	}
+}

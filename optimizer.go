@@ -41,6 +41,8 @@ type Optimizer struct {
 	minInstrs   int
 	skipHot     map[string]bool
 	parallelism int
+	finder      FinderKind
+	dupFold     bool
 	progress    func(Progress)
 }
 
@@ -50,7 +52,8 @@ type Option func(*Optimizer) error
 // New builds an Optimizer from the given options. Without options the
 // defaults match the paper's main configuration: SalSSA, exploration
 // threshold 1, the x86-64 size model, quadratic alignment, no size or
-// memory limits, serial planning.
+// memory limits, serial planning, the exact candidate finder, no
+// duplicate folding.
 func New(opts ...Option) (*Optimizer, error) {
 	o := &Optimizer{
 		algorithm:   SalSSA,
@@ -186,6 +189,38 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithFinder selects the candidate-search implementation (default
+// ExactFinder). ExactFinder reproduces the paper's brute-force
+// fingerprint ranking with an O(n) scan per query; LSHFinder answers
+// the same queries from a locality-sensitive index over banded
+// fingerprint sketches, scoring only the candidates a
+// size-difference bound cannot exclude — the same top-t lists, a
+// fraction of the work on large modules.
+func WithFinder(k FinderKind) Option {
+	return func(o *Optimizer) error {
+		switch k {
+		case ExactFinder, LSHFinder:
+			o.finder = k
+			return nil
+		default:
+			return fmt.Errorf("repro: unknown finder %d", int(k))
+		}
+	}
+}
+
+// WithDupFold folds structurally identical functions into forwarding
+// thunks before any alignment runs (default off). Exact clone families
+// — equal up to local value names, detected by a stable GVN-style
+// structural hash — are deduplicated for free: each duplicate becomes
+// "return representative(args...)" and leaves the candidate set, so no
+// alignment DP cells are spent on them. The Report lists the folds.
+func WithDupFold(on bool) Option {
+	return func(o *Optimizer) error {
+		o.dupFold = on
+		return nil
+	}
+}
+
 // WithProgress installs an observer for pipeline events. Calls are
 // serialized, even across concurrent Optimize calls sharing the
 // Optimizer; plan-stage events may be emitted from planning workers, so
@@ -214,6 +249,12 @@ func (o *Optimizer) Target() Target { return o.target }
 // Parallelism returns the configured planning worker count.
 func (o *Optimizer) Parallelism() int { return o.parallelism }
 
+// Finder returns the configured candidate-search implementation.
+func (o *Optimizer) Finder() FinderKind { return o.finder }
+
+// DupFold reports whether duplicate folding is enabled.
+func (o *Optimizer) DupFold() bool { return o.dupFold }
+
 // config derives the driver configuration. The skip-hot map is shared,
 // not copied: the driver only reads it, and the Optimizer is immutable
 // after New.
@@ -226,6 +267,8 @@ func (o *Optimizer) config() driver.Config {
 		LinearAlign: o.linearAlign,
 		SkipHot:     o.skipHot,
 		MinInstrs:   o.minInstrs,
+		Finder:      o.finder,
+		DupFold:     o.dupFold,
 		Parallelism: o.parallelism,
 		Progress:    o.progress,
 	}

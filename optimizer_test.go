@@ -37,6 +37,12 @@ func TestNewDefaults(t *testing.T) {
 	if o.Parallelism() != 1 {
 		t.Errorf("default parallelism = %d, want 1", o.Parallelism())
 	}
+	if o.Finder() != ExactFinder {
+		t.Errorf("default finder = %v, want ExactFinder", o.Finder())
+	}
+	if o.DupFold() {
+		t.Error("duplicate folding on by default, want off")
+	}
 }
 
 func TestOptionValidation(t *testing.T) {
@@ -52,6 +58,7 @@ func TestOptionValidation(t *testing.T) {
 		{"min instrs negative", WithMinInstrs(-1)},
 		{"parallelism negative", WithParallelism(-2)},
 		{"skip-hot empty name", WithSkipHot("f", "")},
+		{"finder unknown", WithFinder(FinderKind(42))},
 	}
 	for _, tc := range bad {
 		if _, err := New(tc.opt); err == nil {
@@ -68,6 +75,8 @@ func TestOptionValidation(t *testing.T) {
 		WithMinInstrs(4),
 		WithSkipHot("hot1", "hot2"),
 		WithParallelism(3),
+		WithFinder(LSHFinder),
+		WithDupFold(true),
 		WithProgress(func(Progress) {}),
 	)
 	if err != nil {
@@ -75,6 +84,46 @@ func TestOptionValidation(t *testing.T) {
 	}
 	if o.Algorithm() != SalSSANoPC || o.Threshold() != 5 || o.Target() != Thumb || o.Parallelism() != 3 {
 		t.Errorf("options not applied: %+v", o)
+	}
+	if o.Finder() != LSHFinder || !o.DupFold() {
+		t.Errorf("finder options not applied: finder=%v dupFold=%v", o.Finder(), o.DupFold())
+	}
+}
+
+// TestWithDupFoldReportsFolds: the public pipeline must surface fold
+// records and finder accounting in the Report.
+func TestWithDupFoldReportsFolds(t *testing.T) {
+	base := synth.Generate(synth.Profile{
+		Name: "apifold", Seed: 3, Funcs: 12,
+		MinSize: 10, AvgSize: 50, MaxSize: 120,
+		CloneFrac: 0.7, FamilySize: 3, MutRate: 0, Loops: 0.5,
+	})
+	o, err := New(WithDupFold(true), WithFinder(LSHFinder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ir.CloneModule(base)
+	rep, err := o.Optimize(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Folds) == 0 {
+		t.Fatal("no folds reported on an identical-clone module")
+	}
+	if rep.Search.Queries == 0 {
+		t.Error("no finder queries reported")
+	}
+	for _, fr := range rep.Folds {
+		dup := m.FuncByName(fr.Dup)
+		if dup == nil {
+			t.Fatalf("folded function @%s vanished", fr.Dup)
+		}
+		if n := dup.NumInstrs(); n > 2 {
+			t.Errorf("folded @%s still has %d instructions, want a forwarder", fr.Dup, n)
+		}
+	}
+	if err := VerifyModule(m); err != nil {
+		t.Fatalf("folded module does not verify: %v", err)
 	}
 }
 

@@ -7,8 +7,8 @@
 //   - ParseModule / FormatModule: the textual IR (an LLVM-like dialect);
 //   - New + Option (WithAlgorithm, WithThreshold, WithTarget,
 //     WithLinearAlign, WithMaxCells, WithMinInstrs, WithSkipHot,
-//     WithParallelism, WithProgress): build a reusable, concurrency-safe
-//     Optimizer;
+//     WithFinder, WithDupFold, WithParallelism, WithProgress): build a
+//     reusable, concurrency-safe Optimizer;
 //   - (*Optimizer).Optimize: the whole-module pipeline — candidate
 //     ranking, parallel merge planning, the profitability cost model,
 //     thunk creation — with context cancellation;
@@ -32,6 +32,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/ir"
 	"repro/internal/irtext"
+	"repro/internal/search"
 )
 
 // Re-exported substrate types. The ir package is internal; these aliases
@@ -47,6 +48,12 @@ type (
 	Report = driver.Result
 	// MergeRecord describes one committed merge within a Report.
 	MergeRecord = driver.MergeRecord
+	// FoldRecord describes one duplicate fold within a Report (see
+	// WithDupFold).
+	FoldRecord = driver.FoldRecord
+	// SearchStats reports the candidate finder's query accounting
+	// within a Report.
+	SearchStats = search.Stats
 )
 
 // Algorithm selects the merging technique.
@@ -61,6 +68,25 @@ const (
 	SalSSANoPC = driver.SalSSANoPC
 	// FMSA is the CGO'19 baseline (register demotion + promotion).
 	FMSA = driver.FMSA
+)
+
+// FinderKind selects the candidate-search implementation (see
+// WithFinder).
+type FinderKind = search.Kind
+
+// Supported candidate finders.
+const (
+	// ExactFinder is the paper's §5.1 brute-force fingerprint ranking:
+	// exact top-t candidate lists from an O(n) scan per query. The
+	// committed merge set is bit-identical to the historical pipeline
+	// at any parallelism.
+	ExactFinder = search.KindExact
+	// LSHFinder indexes banded minhash sketches of the functions and
+	// answers candidate queries from locality-sensitive buckets plus a
+	// size-bounded branch-and-bound: the same top-t lists as
+	// ExactFinder, from sub-linear query work. On large modules
+	// candidate discovery stops being the O(n²) bottleneck.
+	LSHFinder = search.KindLSH
 )
 
 // Target selects the object-size model.
