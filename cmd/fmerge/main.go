@@ -5,7 +5,8 @@
 //	fmerge [-algo salssa|salssa-nopc|fmsa] [-t N] [-target x86-64|thumb]
 //	       [-linear-align] [-max-cells N] [-min-instrs N]
 //	       [-skip-hot f1,f2,...] [-finder exact|lsh] [-dup-fold]
-//	       [-jobs N] [-v] [-print] [-pair f1,f2] file.ll
+//	       [-jobs N] [-cpuprofile f] [-memprofile f]
+//	       [-v] [-print] [-pair f1,f2] file.ll
 //
 // Without -pair, the whole-module pipeline runs (ranking + cost model);
 // with -pair, the named functions are merged unconditionally by the
@@ -35,7 +36,14 @@
 //	                to a serial run
 //	-v              report per-stage progress on stderr, plus a
 //	                candidate-search summary (pairs tried, plan-cache
-//	                hits, finder query time)
+//	                hits, finder query time) and the alignment-cache
+//	                summary (sequences interned/reused, class count)
+//
+// Profiling knobs (see README "Profiling the pipeline"):
+//
+//	-cpuprofile f   write a pprof CPU profile of the whole run to f
+//	-memprofile f   write a pprof allocation profile (after the run,
+//	                post-GC) to f
 //
 // Interrupting fmerge (SIGINT/SIGTERM) cancels the pipeline cleanly:
 // already-committed merges are kept, the module still verifies, and the
@@ -49,6 +57,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -70,6 +80,8 @@ func main() {
 	verbose := flag.Bool("v", false, "report per-stage progress on stderr")
 	print := flag.Bool("print", false, "print the resulting module to stdout")
 	pair := flag.String("pair", "", "merge exactly this comma-separated function pair, unconditionally (SalSSA variants only)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fmerge [flags] file.ll")
@@ -139,21 +151,60 @@ func main() {
 		fatal(err)
 	}
 
+	// Validate -pair syntax before the CPU profile starts: every fatal
+	// past StartCPUProfile must go through writeProfiles first.
+	var pairNames []string
+	if *pair != "" {
+		pairNames = strings.SplitN(*pair, ",", 2)
+		if len(pairNames) != 2 {
+			fatal(fmt.Errorf("-pair wants f1,f2"))
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	// writeProfiles finalizes both profiles once the pipeline is done
+	// (and before any nonzero exit), so profile data survives cancelled
+	// runs too.
+	writeProfiles := func() {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // materialize the steady-state live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+	}
 
 	before := repro.EstimateSize(m, tgt)
 	var runErr error
 	if *pair != "" {
-		names := strings.SplitN(*pair, ",", 2)
-		if len(names) != 2 {
-			fatal(fmt.Errorf("-pair wants f1,f2"))
-		}
+		names := pairNames
 		merged, stats, err := opt.MergePair(ctx, m, names[0], names[1])
 		// As in the module branch: let a second interrupt kill the
 		// process during output.
 		stop()
 		if err != nil {
+			// Finalize the profiles first — an unstopped CPU profile has
+			// no trailer and pprof rejects the file.
+			writeProfiles()
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "merged @%s + @%s -> @%s\n", names[0], names[1], merged.Name())
@@ -198,8 +249,12 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "search: %d finder queries scanned %d candidates (avg %.1f/query) in %v\n",
 				rep.Search.Queries, rep.Search.Scanned, rep.Search.AvgScanned(), rep.Search.QueryTime)
+			ac := rep.AlignCache
+			fmt.Fprintf(os.Stderr, "align: %d sequences interned (%d classes), %d cache hits\n",
+				ac.Misses, ac.Classes, ac.Hits)
 		}
 	}
+	writeProfiles()
 	if err := repro.VerifyModule(m); err != nil {
 		fatal(fmt.Errorf("result does not verify: %w", err))
 	}

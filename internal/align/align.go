@@ -4,6 +4,13 @@
 // pairing of mergeable entries (match-or-gap scoring: incompatible
 // entries are never aligned against each other, they take gaps).
 //
+// The hot path is allocation-free in steady state: mergeability is
+// decided by comparing interned class IDs (see classes.go) instead of
+// re-walking types per DP cell, linearizations and class vectors are
+// cached per function for a whole run (see cache.go), and the DP
+// score/direction slabs are recycled through capacity-classed pools
+// (see pool.go).
+//
 // The DP matrix size is accounted and reported because it dominates the
 // memory profile of function merging (the paper's Figure 22).
 package align
@@ -37,8 +44,20 @@ func (e Entry) String() string {
 // block order. Phi-nodes and landingpads are excluded: SalSSA treats
 // them as attached to their block's label (the paper aligns neither),
 // and FMSA runs after register demotion, which removes phis entirely.
+// The sequence length is counted up front so the result is built in one
+// allocation.
 func Linearize(f *ir.Function) []Entry {
-	var seq []Entry
+	n := 0
+	for _, b := range f.Blocks {
+		n++
+		for _, in := range b.Instrs() {
+			if in.Op() == ir.OpPhi || in.Op() == ir.OpLandingPad {
+				continue
+			}
+			n++
+		}
+	}
+	seq := make([]Entry, 0, n)
 	for _, b := range f.Blocks {
 		seq = append(seq, Entry{Label: b})
 		for _, in := range b.Instrs() {
@@ -51,6 +70,20 @@ func Linearize(f *ir.Function) []Entry {
 	return seq
 }
 
+// Seq is a linearized function together with its mergeability-class
+// vector: Classes[i] is the Interner class of Entries[i]. Seqs sharing
+// one Interner (one Cache) are alignable against each other.
+type Seq struct {
+	Entries []Entry
+	Classes []int32
+}
+
+// NewSeq linearizes f and interns its class vector with it.
+func NewSeq(f *ir.Function, it *Interner) Seq {
+	entries := Linearize(f)
+	return Seq{Entries: entries, Classes: it.Classes(entries, nil)}
+}
+
 // Mergeable reports whether two entries may be aligned as a matching
 // pair. Labels always match labels. Instructions match when they have
 // the same opcode, result type, operand-type vector and compatible
@@ -58,6 +91,11 @@ func Linearize(f *ir.Function) []Entry {
 // (switch case values, callees, struct GEP indices, alloca types) must
 // be identical, since they cannot be selected by the function identifier
 // at run time.
+//
+// Mergeable is the specification; the DP inner loops decide the same
+// predicate by comparing interned class IDs (ClassesMatch). The
+// differential property test in classes_test.go keeps the two in lock
+// step.
 func Mergeable(a, b Entry) bool {
 	if a.IsLabel() || b.IsLabel() {
 		return a.IsLabel() && b.IsLabel()
@@ -168,8 +206,25 @@ type Result struct {
 	// InstrMatches counts matched instruction pairs only.
 	InstrMatches int
 	// MatrixBytes is the memory used by the DP matrices, the dominant
-	// memory cost of merging (quadratic in sequence length).
+	// memory cost of merging (quadratic in sequence length). It reports
+	// the logical DP footprint; the backing slabs are pooled and reused
+	// across alignments.
 	MatrixBytes int64
+
+	// buf is the reusable backing store of Pairs. The backtrack fills it
+	// from the end and Pairs aliases the tail, so the full capacity must
+	// be remembered here — retaining only the tail slice would shed the
+	// front slots on every reuse.
+	buf []Pair
+}
+
+// reset clears the result for reuse, keeping the pair buffer.
+func (r *Result) reset() {
+	r.Pairs = nil
+	r.Score = 0
+	r.Matches = 0
+	r.InstrMatches = 0
+	r.MatrixBytes = 0
 }
 
 // Needleman–Wunsch backtrack directions.
@@ -188,16 +243,54 @@ func Align(a, b []Entry, opts Options) (*Result, error) {
 // AlignCtx is Align with cancellation: the DP fills row by row and the
 // context is polled between rows, so a cancelled alignment returns
 // ctx.Err() without finishing the quadratic fill.
+//
+// The entries are interned into a transient class universe first; when
+// aligning many pairs, intern once through a Cache (or NewSeq) and use
+// AlignSeqsCtx instead.
 func AlignCtx(ctx context.Context, a, b []Entry, opts Options) (*Result, error) {
+	it := NewInterner()
+	sa := Seq{Entries: a, Classes: it.Classes(a, nil)}
+	sb := Seq{Entries: b, Classes: it.Classes(b, nil)}
+	return AlignSeqsCtx(ctx, sa, sb, opts)
+}
+
+// AlignSeqsCtx aligns two interned sequences with the solver selected by
+// opts.Linear. Both Seqs must come from the same Interner.
+func AlignSeqsCtx(ctx context.Context, a, b Seq, opts Options) (*Result, error) {
+	res := &Result{}
+	if err := AlignSeqsInto(ctx, a, b, opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// AlignSeqsInto is AlignSeqsCtx writing into a caller-owned Result,
+// reusing its Pairs capacity: together with the pooled DP slabs this
+// makes steady-state alignment allocation-free. On error the Result
+// holds no pairs.
+func AlignSeqsInto(ctx context.Context, a, b Seq, opts Options, res *Result) error {
+	res.reset()
+	if opts.Linear {
+		return alignLinearSeqs(ctx, a, b, opts, res)
+	}
+	return alignQuadratic(ctx, a.Entries, b.Entries, a.Classes, b.Classes, opts, res)
+}
+
+// alignQuadratic is the Needleman–Wunsch core: class-vector mergeability
+// tests, pooled score/direction slabs, and an in-place backtrack filling
+// the pair list from the end.
+func alignQuadratic(ctx context.Context, a, b []Entry, ca, cb []int32, opts Options, res *Result) error {
 	n, m := len(a), len(b)
 	cells := int64(n+1) * int64(m+1)
 	if opts.MaxCells > 0 && cells > opts.MaxCells {
-		return nil, ErrTooLarge
+		return ErrTooLarge
 	}
 	// score uses int32 (4 bytes) and dir one byte per cell, matching the
 	// quadratic footprint the paper measures.
-	score := make([]int32, cells)
-	dir := make([]byte, cells)
+	slab := getSlab(cells)
+	defer putSlab(slab)
+	score := slab.score
+	dir := slab.dir
 	idx := func(i, j int) int64 { return int64(i)*int64(m+1) + int64(j) }
 
 	gap := opts.GapPenalty
@@ -212,39 +305,55 @@ func AlignCtx(ctx context.Context, a, b []Entry, opts Options) (*Result, error) 
 	for i := 1; i <= n; i++ {
 		if i&cancelStride == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 		}
+		cai := ca[i-1]
+		ms := opts.InstrMatchScore
+		if cai == ClassLabel {
+			ms = opts.LabelMatchScore
+		}
+		row := score[idx(i, 0) : idx(i, m)+1]
+		prev := score[idx(i-1, 0) : idx(i-1, m)+1]
+		drow := dir[idx(i, 0) : idx(i, m)+1]
+		matchable := cai != classSolo
 		for j := 1; j <= m; j++ {
-			best := score[idx(i-1, j)] - gap
+			best := prev[j] - gap
 			d := dirUp
-			if s := score[idx(i, j-1)] - gap; s > best {
+			if s := row[j-1] - gap; s > best {
 				best, d = s, dirLeft
 			}
-			if Mergeable(a[i-1], b[j-1]) {
-				ms := opts.InstrMatchScore
-				if a[i-1].IsLabel() {
-					ms = opts.LabelMatchScore
-				}
-				if s := score[idx(i-1, j-1)] + ms; s >= best {
+			if matchable && cai == cb[j-1] {
+				if s := prev[j-1] + ms; s >= best {
 					best, d = s, dirDiag
 				}
 			}
-			score[idx(i, j)] = best
-			dir[idx(i, j)] = d
+			row[j] = best
+			drow[j] = d
 		}
 	}
 
-	res := &Result{
-		Score:       score[idx(n, m)],
-		MatrixBytes: cells * 5,
+	res.Score = score[idx(n, m)]
+	res.MatrixBytes = cells * 5
+	backtrack(a, b, dir, n, m, res)
+	return nil
+}
+
+// backtrack recovers the alignment path from the direction matrix,
+// filling the pair list in place from the end (a path has at most n+m
+// pairs) instead of building a reversed list and copying.
+func backtrack(a, b []Entry, dir []byte, n, m int, res *Result) {
+	need := n + m
+	if cap(res.buf) < need {
+		res.buf = make([]Pair, need)
 	}
-	// Backtrack.
-	var rev []Pair
+	buf := res.buf[:need]
+	k := need
 	for i, j := n, m; i > 0 || j > 0; {
-		switch dir[idx(i, j)] {
+		k--
+		switch dir[int64(i)*int64(m+1)+int64(j)] {
 		case dirDiag:
-			rev = append(rev, Pair{A: &a[i-1], B: &b[j-1]})
+			buf[k] = Pair{A: &a[i-1], B: &b[j-1]}
 			res.Matches++
 			if !a[i-1].IsLabel() {
 				res.InstrMatches++
@@ -252,20 +361,16 @@ func AlignCtx(ctx context.Context, a, b []Entry, opts Options) (*Result, error) 
 			i--
 			j--
 		case dirUp:
-			rev = append(rev, Pair{A: &a[i-1]})
+			buf[k] = Pair{A: &a[i-1]}
 			i--
 		case dirLeft:
-			rev = append(rev, Pair{B: &b[j-1]})
+			buf[k] = Pair{B: &b[j-1]}
 			j--
 		default:
 			panic("align: corrupt backtrack matrix")
 		}
 	}
-	res.Pairs = make([]Pair, len(rev))
-	for i := range rev {
-		res.Pairs[i] = rev[len(rev)-1-i]
-	}
-	return res, nil
+	res.Pairs = buf[k:]
 }
 
 // cancelStride is the row mask between context polls in the DP loops: a
@@ -280,10 +385,9 @@ func AlignFunctions(f1, f2 *ir.Function, opts Options) (*Result, error) {
 }
 
 // AlignFunctionsCtx is AlignFunctions with cancellation plumbed into the
-// DP loops of both solvers.
+// DP loops of both solvers. Linearizations and class vectors are
+// computed transiently; batch callers should hold a Cache instead.
 func AlignFunctionsCtx(ctx context.Context, f1, f2 *ir.Function, opts Options) (*Result, error) {
-	if opts.Linear {
-		return AlignLinearCtx(ctx, Linearize(f1), Linearize(f2), opts)
-	}
-	return AlignCtx(ctx, Linearize(f1), Linearize(f2), opts)
+	it := NewInterner()
+	return AlignSeqsCtx(ctx, NewSeq(f1, it), NewSeq(f2, it), opts)
 }

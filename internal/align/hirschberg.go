@@ -1,6 +1,9 @@
 package align
 
-import "context"
+import (
+	"context"
+	"sync"
+)
 
 // Hirschberg's linear-space variant of the alignment. The paper's §5.5
 // identifies the quadratic DP matrix as the dominant memory cost of
@@ -10,6 +13,10 @@ import "context"
 // extension (Options via AlignLinear / driver ablation benchmarks): with
 // it, even demotion-inflated alignments stay small, trading the paper's
 // memory argument for extra time.
+//
+// Like the quadratic solver, the inner loops compare interned class IDs
+// and the row buffers come from the shared pools, so steady-state
+// alignment does no per-pair allocation beyond the recovered path.
 
 // AlignLinear computes an optimal global alignment of a and b with the
 // same scoring as Align but in linear space. The alignment score equals
@@ -21,80 +28,124 @@ func AlignLinear(a, b []Entry, opts Options) (*Result, error) {
 // AlignLinearCtx is AlignLinear with cancellation: the context is polled
 // between DP rows of every divide-and-conquer subproblem.
 func AlignLinearCtx(ctx context.Context, a, b []Entry, opts Options) (*Result, error) {
-	h := &hirschberg{opts: opts, ctx: ctx}
-	pairs := h.solve(a, b)
-	if err := ctx.Err(); err != nil {
+	it := NewInterner()
+	sa := Seq{Entries: a, Classes: it.Classes(a, nil)}
+	sb := Seq{Entries: b, Classes: it.Classes(b, nil)}
+	res := &Result{}
+	if err := alignLinearSeqs(ctx, sa, sb, opts, res); err != nil {
 		return nil, err
 	}
-	res := &Result{Pairs: pairs, MatrixBytes: h.peakBytes}
-	for _, p := range pairs {
+	return res, nil
+}
+
+// alignLinearSeqs runs the divide-and-conquer solver over interned
+// sequences, accumulating the path directly into res.Pairs (reusing its
+// capacity) and deriving score and match counts from the path.
+func alignLinearSeqs(ctx context.Context, a, b Seq, opts Options, res *Result) error {
+	// MaxCells caps the quadratic solver's memory; the linear solver
+	// needs O(n+m) regardless, so the cap is cleared rather than letting
+	// an O(n+m) base case trip it.
+	opts.MaxCells = 0
+	h, _ := hirschbergPool.Get().(*hirschberg)
+	if h == nil {
+		h = &hirschberg{}
+	}
+	h.opts, h.ctx, h.peakBytes = opts, ctx, 0
+	h.out = res.buf[:0]
+	h.solve(a.Entries, b.Entries, a.Classes, b.Classes)
+	out, peak := h.out, h.peakBytes
+	// The output buffer and accounting become the caller's; only the
+	// scratch state (base-case result, and the struct itself) is
+	// recycled. The scratch pair buffer is cleared — its Entry pointers
+	// would otherwise pin the last run's instruction graph inside the
+	// global pool — and nothing on h may be read past this Put: another
+	// goroutine may already be reusing it.
+	scr := h.scratch.buf[:cap(h.scratch.buf)]
+	for i := range scr {
+		scr[i] = Pair{}
+	}
+	h.scratch.Pairs = nil
+	h.out, h.ctx = nil, nil
+	hirschbergPool.Put(h)
+	res.buf = out[:0]
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	res.Pairs = out
+	res.MatrixBytes = peak
+	for _, p := range res.Pairs {
 		if p.IsMatch() {
 			res.Matches++
-			if !p.A.IsLabel() {
-				res.InstrMatches++
-			}
 			if p.A.IsLabel() {
 				res.Score += opts.LabelMatchScore
 			} else {
+				res.InstrMatches++
 				res.Score += opts.InstrMatchScore
 			}
 		} else {
 			res.Score -= opts.GapPenalty
 		}
 	}
-	return res, nil
+	return nil
 }
+
+// hirschbergPool recycles solver scratch state (most usefully the
+// base-case Result and its pair buffer) across alignments.
+var hirschbergPool sync.Pool
 
 type hirschberg struct {
 	opts      Options
 	ctx       context.Context
 	peakBytes int64
+	out       []Pair
+	// scratch is the reusable quadratic-solver result for the O(n+m)
+	// base cases.
+	scratch Result
 }
 
 // cancelled reports whether the alignment's context has been cancelled;
-// the recursion unwinds with a partial path that AlignLinearCtx discards.
+// the recursion unwinds with a partial path that alignLinearSeqs
+// discards.
 func (h *hirschberg) cancelled() bool { return h.ctx.Err() != nil }
-
-func (h *hirschberg) matchScore(a, b Entry) (int32, bool) {
-	if !Mergeable(a, b) {
-		return 0, false
-	}
-	if a.IsLabel() {
-		return h.opts.LabelMatchScore, true
-	}
-	return h.opts.InstrMatchScore, true
-}
 
 // lastRow returns the final DP row aligning a against b (forward
 // direction), i.e. row[j] = best score of aligning all of a with b[:j].
-func (h *hirschberg) lastRow(a, b []Entry, reversed bool) []int32 {
+// The returned buffer comes from the row pool; the caller releases it
+// with putRow.
+func (h *hirschberg) lastRow(a, b []Entry, ca, cb []int32, reversed bool) *dpRow {
 	m := len(b)
-	prev := make([]int32, m+1)
-	cur := make([]int32, m+1)
+	pr := getRow(m + 1)
+	cr := getRow(m + 1)
 	h.account(int64(2 * (m + 1) * 4))
+	prev, cur := pr.row, cr.row
 	gap := h.opts.GapPenalty
 	for j := 1; j <= m; j++ {
 		prev[j] = prev[j-1] - gap
 	}
 	for i := 1; i <= len(a); i++ {
 		if i&cancelStride == 0 && h.cancelled() {
-			return prev
+			break
 		}
 		cur[0] = prev[0] - gap
-		ai := a[i-1]
+		cai := ca[i-1]
 		if reversed {
-			ai = a[len(a)-i]
+			cai = ca[len(a)-i]
 		}
+		ms := h.opts.InstrMatchScore
+		if cai == ClassLabel {
+			ms = h.opts.LabelMatchScore
+		}
+		matchable := cai != classSolo
 		for j := 1; j <= m; j++ {
-			bj := b[j-1]
+			cbj := cb[j-1]
 			if reversed {
-				bj = b[m-j]
+				cbj = cb[m-j]
 			}
 			best := prev[j] - gap
 			if s := cur[j-1] - gap; s > best {
 				best = s
 			}
-			if ms, ok := h.matchScore(ai, bj); ok {
+			if matchable && cai == cbj {
 				if s := prev[j-1] + ms; s > best {
 					best = s
 				}
@@ -103,7 +154,9 @@ func (h *hirschberg) lastRow(a, b []Entry, reversed bool) []int32 {
 		}
 		prev, cur = cur, prev
 	}
-	return prev
+	pr.row, cr.row = prev, cur
+	putRow(cr)
+	return pr
 }
 
 func (h *hirschberg) account(bytes int64) {
@@ -112,43 +165,47 @@ func (h *hirschberg) account(bytes int64) {
 	}
 }
 
-func (h *hirschberg) solve(a, b []Entry) []Pair {
+// solve appends the optimal path for (a, b) to h.out, left to right.
+func (h *hirschberg) solve(a, b []Entry, ca, cb []int32) {
 	if h.cancelled() {
-		return nil
+		return
 	}
 	switch {
 	case len(a) == 0:
-		out := make([]Pair, len(b))
 		for j := range b {
-			out[j] = Pair{B: &b[j]}
+			h.out = append(h.out, Pair{B: &b[j]})
 		}
-		return out
+		return
 	case len(b) == 0:
-		out := make([]Pair, len(a))
 		for i := range a {
-			out[i] = Pair{A: &a[i]}
+			h.out = append(h.out, Pair{A: &a[i]})
 		}
-		return out
+		return
 	case len(a) == 1 || len(b) == 1:
 		// Small enough for the quadratic solver; its matrix is O(n+m).
-		res, err := Align(a, b, h.opts)
-		if err != nil {
-			panic("align: base-case alignment cannot fail")
+		h.scratch.reset()
+		if err := alignQuadratic(h.ctx, a, b, ca, cb, h.opts, &h.scratch); err != nil {
+			// The base case cannot exceed MaxCells (no cap applies here);
+			// only cancellation reaches this, and the partial path is
+			// discarded by alignLinearSeqs.
+			return
 		}
-		h.account(res.MatrixBytes)
-		return res.Pairs
+		h.account(h.scratch.MatrixBytes)
+		h.out = append(h.out, h.scratch.Pairs...)
+		return
 	}
 	mid := len(a) / 2
-	fwd := h.lastRow(a[:mid], b, false)
-	bwd := h.lastRow(a[mid:], b, true)
+	fwd := h.lastRow(a[:mid], b, ca[:mid], cb, false)
+	bwd := h.lastRow(a[mid:], b, ca[mid:], cb, true)
 	split, best := 0, int32(-1<<30)
 	for j := 0; j <= len(b); j++ {
-		if s := fwd[j] + bwd[len(b)-j]; s > best {
+		if s := fwd.row[j] + bwd.row[len(b)-j]; s > best {
 			best = s
 			split = j
 		}
 	}
-	left := h.solve(a[:mid], b[:split])
-	right := h.solve(a[mid:], b[split:])
-	return append(left, right...)
+	putRow(fwd)
+	putRow(bwd)
+	h.solve(a[:mid], b[:split], ca[:mid], cb[:split])
+	h.solve(a[mid:], b[split:], ca[mid:], cb[split:])
 }

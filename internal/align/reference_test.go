@@ -1,0 +1,80 @@
+package align
+
+// alignReference is the pre-interning Needleman–Wunsch implementation:
+// Mergeable re-evaluated per DP cell, matrices allocated per call, the
+// backtrack built reversed and copied. It is kept verbatim as the
+// executable specification the optimized solver is differentially
+// tested against (TestAlignSeqsMatchesReference) and as the benchmark
+// baseline the ≥3x acceptance bar is measured from
+// (BenchmarkAlignPairReference).
+func alignReference(a, b []Entry, opts Options) (*Result, error) {
+	n, m := len(a), len(b)
+	cells := int64(n+1) * int64(m+1)
+	if opts.MaxCells > 0 && cells > opts.MaxCells {
+		return nil, ErrTooLarge
+	}
+	score := make([]int32, cells)
+	dir := make([]byte, cells)
+	idx := func(i, j int) int64 { return int64(i)*int64(m+1) + int64(j) }
+
+	gap := opts.GapPenalty
+	for i := 1; i <= n; i++ {
+		score[idx(i, 0)] = score[idx(i-1, 0)] - gap
+		dir[idx(i, 0)] = dirUp
+	}
+	for j := 1; j <= m; j++ {
+		score[idx(0, j)] = score[idx(0, j-1)] - gap
+		dir[idx(0, j)] = dirLeft
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			best := score[idx(i-1, j)] - gap
+			d := dirUp
+			if s := score[idx(i, j-1)] - gap; s > best {
+				best, d = s, dirLeft
+			}
+			if Mergeable(a[i-1], b[j-1]) {
+				ms := opts.InstrMatchScore
+				if a[i-1].IsLabel() {
+					ms = opts.LabelMatchScore
+				}
+				if s := score[idx(i-1, j-1)] + ms; s >= best {
+					best, d = s, dirDiag
+				}
+			}
+			score[idx(i, j)] = best
+			dir[idx(i, j)] = d
+		}
+	}
+
+	res := &Result{
+		Score:       score[idx(n, m)],
+		MatrixBytes: cells * 5,
+	}
+	var rev []Pair
+	for i, j := n, m; i > 0 || j > 0; {
+		switch dir[idx(i, j)] {
+		case dirDiag:
+			rev = append(rev, Pair{A: &a[i-1], B: &b[j-1]})
+			res.Matches++
+			if !a[i-1].IsLabel() {
+				res.InstrMatches++
+			}
+			i--
+			j--
+		case dirUp:
+			rev = append(rev, Pair{A: &a[i-1]})
+			i--
+		case dirLeft:
+			rev = append(rev, Pair{B: &b[j-1]})
+			j--
+		default:
+			panic("align: corrupt backtrack matrix")
+		}
+	}
+	res.Pairs = make([]Pair, len(rev))
+	for i := range rev {
+		res.Pairs[i] = rev[len(rev)-1-i]
+	}
+	return res, nil
+}

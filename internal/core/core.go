@@ -68,22 +68,39 @@ func Merge(m *ir.Module, f1, f2 *ir.Function, name string, opts Options) (*ir.Fu
 // partially built merged function is removed from m and ctx.Err() is
 // returned.
 func MergeCtx(ctx context.Context, m *ir.Module, f1, f2 *ir.Function, name string, opts Options) (*ir.Function, *Stats, error) {
-	if f1 == f2 {
-		return nil, nil, fmt.Errorf("core: cannot merge a function with itself")
-	}
-	if f1.IsDecl() || f2.IsDecl() {
-		return nil, nil, fmt.Errorf("core: cannot merge declarations")
-	}
 	// Check signature compatibility before paying for the quadratic
-	// alignment; MergeAlignedCtx replans (cheaply) for its own use.
-	if _, err := PlanParams(f1, f2); err != nil {
+	// alignment; the plan is threaded through to the generator so it is
+	// computed exactly once.
+	plan, err := PlanParams(f1, f2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return MergeWithPlanCtx(ctx, m, f1, f2, name, plan, opts)
+}
+
+// MergeWithPlanCtx is MergeCtx for callers that already hold the pair's
+// ParamPlan (the facade's MergePair plans it for thunk construction
+// anyway): alignment plus code generation without replanning.
+func MergeWithPlanCtx(ctx context.Context, m *ir.Module, f1, f2 *ir.Function, name string, plan *ParamPlan, opts Options) (*ir.Function, *Stats, error) {
+	if err := checkPair(f1, f2); err != nil {
 		return nil, nil, err
 	}
 	res, err := align.AlignFunctionsCtx(ctx, f1, f2, opts.Align)
 	if err != nil {
 		return nil, nil, err
 	}
-	return MergeAlignedCtx(ctx, m, f1, f2, name, res, opts)
+	return mergeAligned(ctx, m, f1, f2, name, res, plan, opts)
+}
+
+// checkPair rejects pairs no generator path accepts.
+func checkPair(f1, f2 *ir.Function) error {
+	if f1 == f2 {
+		return fmt.Errorf("core: cannot merge a function with itself")
+	}
+	if f1.IsDecl() || f2.IsDecl() {
+		return fmt.Errorf("core: cannot merge declarations")
+	}
+	return nil
 }
 
 // MergeAligned is Merge with a precomputed alignment (used by the
@@ -103,6 +120,12 @@ func MergeAlignedCtx(ctx context.Context, m *ir.Module, f1, f2 *ir.Function, nam
 	if err != nil {
 		return nil, nil, err
 	}
+	return mergeAligned(ctx, m, f1, f2, name, res, plan, opts)
+}
+
+// mergeAligned runs the code generator over a precomputed alignment and
+// parameter plan.
+func mergeAligned(ctx context.Context, m *ir.Module, f1, f2 *ir.Function, name string, res *align.Result, plan *ParamPlan, opts Options) (*ir.Function, *Stats, error) {
 	g := newGenerator(m, f1, f2, name, plan, opts)
 	g.stats.Matches = res.Matches
 	g.stats.InstrMatches = res.InstrMatches

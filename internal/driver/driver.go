@@ -193,6 +193,10 @@ type Result struct {
 	CacheHits int
 	// Search reports the candidate finder's query accounting.
 	Search search.Stats
+	// AlignCache reports the per-run linearization/class cache: every
+	// Seq hit is a candidate pair trial that skipped re-linearizing and
+	// re-interning a function.
+	AlignCache align.CacheStats
 	// AlignTime and CodegenTime accumulate the two core phases
 	// (Figure 23); TotalTime is the whole run (Figure 24's overhead).
 	// Under parallel planning the phase times are summed across workers,
@@ -300,7 +304,12 @@ func RunContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) 
 	if cfg.DupFold {
 		candidates = foldDuplicates(candidates, preSize, cfg, res)
 	}
-	finder := search.New(cfg.Finder, candidates)
+	// One linearization/class cache serves the whole run: the finder
+	// reuses the class vectors for its sketches, every trial reuses the
+	// cached sequences (clone trials copy the class vector of their
+	// original), and commits invalidate the functions they thunk.
+	cache := align.NewCache()
+	finder := search.NewWithClasses(cfg.Finder, candidates, cache)
 	opts := cfg.CoreOptions()
 	order := finder.Order()
 
@@ -309,7 +318,7 @@ func RunContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) 
 	// shared state they touch is read-only.
 	var pl *planner
 	if cfg.Parallelism > 1 {
-		pl = planAll(ctx, order, finder, preSize, opts, cfg, progress)
+		pl = planAll(ctx, order, finder, cache, preSize, opts, cfg, progress)
 		pl.wait()
 		res.Planned = pl.executed
 	}
@@ -362,7 +371,7 @@ commitLoop:
 					discard(best)
 					break commitLoop
 				}
-				t = planTrialInPlace(ctx, m, f1, f2, preSize, opts, cfg)
+				t = planTrialInPlace(ctx, m, f1, f2, cache, preSize, opts, cfg)
 			}
 			res.Attempts++
 			res.AlignTime += t.alignTime
@@ -414,6 +423,10 @@ commitLoop:
 			consumed[best.f2] = true
 			finder.Remove(f1)
 			finder.Remove(best.f2)
+			// Their bodies are thunks now; the cached linearizations are
+			// stale and would pin the dead instructions.
+			cache.Invalidate(f1)
+			cache.Invalidate(best.f2)
 		}
 		res.Merges = append(res.Merges, rec)
 		mergeIdx++
@@ -431,6 +444,7 @@ commitLoop:
 		fmsa.CleanupModule(m)
 	}
 	res.Search = finder.Stats()
+	res.AlignCache = cache.Stats()
 	res.FinalBytes = costmodel.ModuleBytes(m, cfg.Target)
 	res.TotalTime = time.Since(start)
 	return res, runErr
@@ -458,14 +472,17 @@ type trial struct {
 // merging the originals directly would make concurrent trials sharing a
 // function race. The clones are structurally identical to the originals,
 // so the merged function (and its profit) matches what merging the
-// originals would produce.
-func planTrial(ctx context.Context, f1, f2 *ir.Function, preSize map[*ir.Function]int, opts core.Options, cfg Config) *trial {
+// originals would produce — the cache exploits the same fidelity by
+// reusing each original's class vector for its clones (CloneSeq), so a
+// trial never re-interns a function.
+func planTrial(ctx context.Context, f1, f2 *ir.Function, cache *align.Cache, preSize map[*ir.Function]int, opts core.Options, cfg Config) *trial {
 	t := &trial{f1: f1, f2: f2, scratch: ir.NewModule()}
 	c1, _ := ir.CloneFunction(f1, f1.Name())
 	c2, _ := ir.CloneFunction(f2, f2.Name())
 	t.scratch.AddFunc(c1)
 	t.scratch.AddFunc(c2)
-	t.build(ctx, t.scratch, c1, c2, mergedBaseName(f1, f2), preSize, opts, cfg)
+	t.build(ctx, t.scratch, c1, c2, cache.CloneSeq(c1, f1), cache.CloneSeq(c2, f2),
+		mergedBaseName(f1, f2), preSize, opts, cfg)
 	return t
 }
 
@@ -474,17 +491,18 @@ func planTrial(ctx context.Context, f1, f2 *ir.Function, preSize map[*ir.Functio
 // goroutine may call it (serial runs, and lazy replans after the worker
 // barrier), since it mutates use-lists on the pair and adds the merged
 // function to m; the caller discards the merged function on rejection.
-func planTrialInPlace(ctx context.Context, m *ir.Module, f1, f2 *ir.Function, preSize map[*ir.Function]int, opts core.Options, cfg Config) *trial {
+func planTrialInPlace(ctx context.Context, m *ir.Module, f1, f2 *ir.Function, cache *align.Cache, preSize map[*ir.Function]int, opts core.Options, cfg Config) *trial {
 	t := &trial{f1: f1, f2: f2}
-	t.build(ctx, m, f1, f2, MergedName(m, f1, f2), preSize, opts, cfg)
+	t.build(ctx, m, f1, f2, cache.Seq(f1), cache.Seq(f2), MergedName(m, f1, f2), preSize, opts, cfg)
 	return t
 }
 
-// build aligns a and b and generates the merged function named name in
-// dst, filling the trial's stats, timings and profit.
-func (t *trial) build(ctx context.Context, dst *ir.Module, a, b *ir.Function, name string, preSize map[*ir.Function]int, opts core.Options, cfg Config) {
+// build aligns a and b (through their pre-interned sequences) and
+// generates the merged function named name in dst, filling the trial's
+// stats, timings and profit.
+func (t *trial) build(ctx context.Context, dst *ir.Module, a, b *ir.Function, sa, sb align.Seq, name string, preSize map[*ir.Function]int, opts core.Options, cfg Config) {
 	t0 := time.Now()
-	ares, err := align.AlignFunctionsCtx(ctx, a, b, opts.Align)
+	ares, err := align.AlignSeqsCtx(ctx, sa, sb, opts.Align)
 	t.alignTime = time.Since(t0)
 	if err != nil {
 		t.err = err

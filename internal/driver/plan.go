@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"repro/internal/align"
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/search"
@@ -33,7 +34,7 @@ type planner struct {
 // shift after commits are replanned lazily by the commit stage; pairs
 // planned here but never consumed are speculation waste (time and
 // transient memory), bounded by len(order) * Threshold trials.
-func planAll(ctx context.Context, order []*ir.Function, finder search.Finder, preSize map[*ir.Function]int, opts core.Options, cfg Config, progress func(Progress)) *planner {
+func planAll(ctx context.Context, order []*ir.Function, finder search.Finder, cache *align.Cache, preSize map[*ir.Function]int, opts core.Options, cfg Config, progress func(Progress)) *planner {
 	var keys []pairKey
 	for _, f1 := range order {
 		for _, f2 := range finder.Candidates(f1, cfg.Threshold) {
@@ -62,7 +63,7 @@ func planAll(ctx context.Context, order []*ir.Function, finder search.Finder, pr
 				if ctx.Err() != nil {
 					continue
 				}
-				t := planTrial(ctx, k.f1, k.f2, preSize, opts, cfg)
+				t := planTrial(ctx, k.f1, k.f2, cache, preSize, opts, cfg)
 				p.mu.Lock()
 				row := p.trials[k.f1]
 				if row == nil {

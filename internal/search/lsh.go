@@ -5,9 +5,14 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/align"
 	"repro/internal/fingerprint"
 	"repro/internal/ir"
 )
+
+// alignClassLabel mirrors align.ClassLabel: the class every block label
+// maps to in a ClassSource vector.
+const alignClassLabel = align.ClassLabel
 
 // LSH tuning. Each function is summarised as a weighted feature set of
 // opcode bigrams (consecutive instructions within a block; occurrences
@@ -38,6 +43,11 @@ const (
 // scores only the bucket neighbours and the size window the pruning
 // bound cannot exclude, instead of every live function.
 type LSH struct {
+	// classes, when non-nil, supplies interned mergeability-class
+	// vectors and the sketches are built over class bigrams instead of
+	// opcode bigrams (see NewWithClasses).
+	classes ClassSource
+
 	mu    sync.RWMutex
 	fps   map[*ir.Function]*fingerprint.Fingerprint
 	keys  map[*ir.Function][]uint64 // band keys, len lshBands
@@ -53,11 +63,16 @@ type LSH struct {
 // appends to the size-sorted list and sorts once at the end — O(n log n)
 // — rather than paying Add's per-function sorted insertion, which would
 // make construction quadratic on large modules.
-func NewLSH(funcs []*ir.Function) *LSH {
+func NewLSH(funcs []*ir.Function) *LSH { return NewLSHWithClasses(funcs, nil) }
+
+// NewLSHWithClasses is NewLSH with an optional class source for the
+// sketches (see NewWithClasses).
+func NewLSHWithClasses(funcs []*ir.Function, src ClassSource) *LSH {
 	l := &LSH{
-		fps:   make(map[*ir.Function]*fingerprint.Fingerprint, len(funcs)),
-		keys:  make(map[*ir.Function][]uint64, len(funcs)),
-		bands: make([]map[uint64][]*ir.Function, lshBands),
+		classes: src,
+		fps:     make(map[*ir.Function]*fingerprint.Fingerprint, len(funcs)),
+		keys:    make(map[*ir.Function][]uint64, len(funcs)),
+		bands:   make([]map[uint64][]*ir.Function, lshBands),
 	}
 	for i := range l.bands {
 		l.bands[i] = map[uint64][]*ir.Function{}
@@ -89,8 +104,10 @@ func mix64(x uint64) uint64 {
 // sketch computes the one-permutation minhash signature of f's bigram
 // feature set and folds it into band keys: each feature is hashed once,
 // routed to a signature slot by its top bits, and each slot keeps its
-// minimum.
-func sketch(f *ir.Function) []uint64 {
+// minimum. With a ClassSource the bigrams run over interned
+// mergeability classes (reusing the vector the alignment stage computes
+// anyway); without one they run over raw opcodes.
+func (l *LSH) sketch(f *ir.Function) []uint64 {
 	const empty = ^uint64(0)
 	var sig [lshHashes]uint64
 	for i := range sig {
@@ -103,29 +120,53 @@ func sketch(f *ir.Function) []uint64 {
 			sig[slot] = h
 		}
 	}
-	// Opcode bigrams, occurrence-capped so one hot pair cannot dominate
-	// the sketch. Occurrence counts are tracked per bigram key to keep
-	// the set weighted (two of the same pair is a different set than
-	// one).
+	// Bigrams within a block, occurrence-capped so one hot pair cannot
+	// dominate the sketch. Occurrence counts are tracked per bigram key
+	// to keep the set weighted (two of the same pair is a different set
+	// than one).
 	occ := map[uint64]uint64{}
-	for _, b := range f.Blocks {
-		instrs := b.Instrs()
-		for i := range instrs {
-			key := uint64(instrs[i].Op())
-			if i+1 < len(instrs) {
-				key = key<<8 | uint64(instrs[i+1].Op())
-			} else {
-				key = key << 8 // block-final instruction: unigram feature
-			}
-			n := occ[key]
-			if n >= lshCountCap {
+	bigram := func(key uint64) {
+		n := occ[key]
+		if n >= lshCountCap {
+			return
+		}
+		occ[key] = n + 1
+		feed(key<<8 | n)
+	}
+	blocks := uint64(0)
+	if l.classes != nil {
+		// Class-bigram features: consecutive instruction entries of the
+		// linearized sequence; a label entry is a block boundary, so the
+		// block-final instruction contributes a unigram, mirroring the
+		// opcode path. Class IDs are interner-local, well under 2^27.
+		classes := l.classes.ClassVector(f)
+		for i, c := range classes {
+			if c == alignClassLabel {
+				blocks++
 				continue
 			}
-			occ[key] = n + 1
-			feed(key<<8 | n)
+			key := uint64(uint32(c)) << 28
+			if i+1 < len(classes) && classes[i+1] != alignClassLabel {
+				key |= uint64(uint32(classes[i+1])) & (1<<28 - 1)
+			}
+			bigram(key)
 		}
+	} else {
+		for _, b := range f.Blocks {
+			instrs := b.Instrs()
+			for i := range instrs {
+				key := uint64(instrs[i].Op())
+				if i+1 < len(instrs) {
+					key = key<<8 | uint64(instrs[i+1].Op())
+				} else {
+					key = key << 8 // block-final instruction: unigram feature
+				}
+				bigram(key)
+			}
+		}
+		blocks = uint64(len(f.Blocks))
 	}
-	nb := uint64(len(f.Blocks))
+	nb := blocks
 	if nb > lshCountCap {
 		nb = lshCountCap
 	}
@@ -173,7 +214,7 @@ func (l *LSH) sizeLess(a, b *ir.Function) bool {
 func (l *LSH) indexLocked(f *ir.Function) {
 	fp := fingerprint.New(f)
 	l.fps[f] = fp
-	keys := sketch(f)
+	keys := l.sketch(f)
 	l.keys[f] = keys
 	for b, k := range keys {
 		l.bands[b][k] = append(l.bands[b][k], f)

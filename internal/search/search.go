@@ -105,8 +105,28 @@ func KindByName(name string) (Kind, error) {
 // New builds the Finder of the given kind over funcs (declarations are
 // ignored).
 func New(kind Kind, funcs []*ir.Function) Finder {
+	return NewWithClasses(kind, funcs, nil)
+}
+
+// ClassSource provides per-function mergeability-class vectors (one
+// int32 per linearized entry, labels included). align.Cache implements
+// it; the driver hands its per-run cache to the finder so the LSH
+// sketches reuse the class vectors the alignment stage needs anyway —
+// one linearization pass per function serves both subsystems.
+type ClassSource interface {
+	ClassVector(f *ir.Function) []int32
+}
+
+// NewWithClasses is New with an optional ClassSource. A nil src keeps
+// the self-contained opcode-bigram sketches; a non-nil src switches the
+// LSH sketches to class bigrams, which are strictly more discriminating
+// (classes fold in types and constant auxiliaries, so unrelated
+// functions sharing opcode shapes stop colliding). Candidate lists are
+// the exact fingerprint top-t either way — sketches only seed the
+// branch-and-bound — so the committed merge set does not depend on src.
+func NewWithClasses(kind Kind, funcs []*ir.Function, src ClassSource) Finder {
 	if kind == KindLSH {
-		return NewLSH(funcs)
+		return NewLSHWithClasses(funcs, src)
 	}
 	return NewExact(funcs)
 }

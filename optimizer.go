@@ -307,7 +307,9 @@ func (o *Optimizer) MergePair(ctx context.Context, m *Module, name1, name2 strin
 	if err != nil {
 		return nil, nil, err
 	}
-	merged, stats, err := core.MergeCtx(ctx, m, f1, f2, driver.MergedName(m, f1, f2), o.config().CoreOptions())
+	// The plan is shared between the generator and the thunks below, so
+	// parameter unification runs once per pair.
+	merged, stats, err := core.MergeWithPlanCtx(ctx, m, f1, f2, driver.MergedName(m, f1, f2), plan, o.config().CoreOptions())
 	if err != nil {
 		return nil, nil, err
 	}

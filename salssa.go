@@ -27,6 +27,7 @@ package repro
 import (
 	"context"
 
+	"repro/internal/align"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/driver"
@@ -54,6 +55,10 @@ type (
 	// SearchStats reports the candidate finder's query accounting
 	// within a Report.
 	SearchStats = search.Stats
+	// AlignCacheStats reports the per-run linearization/class cache
+	// within a Report: alignment trials reuse one interned sequence per
+	// function instead of re-walking types per candidate pair.
+	AlignCacheStats = align.CacheStats
 )
 
 // Algorithm selects the merging technique.
