@@ -1,4 +1,4 @@
-// Command fmerge applies function merging to a textual IR module.
+// Command fmerge applies function merging to textual IR modules.
 //
 // Usage:
 //
@@ -6,13 +6,32 @@
 //	       [-linear-align] [-max-cells N] [-min-instrs N]
 //	       [-skip-hot f1,f2,...] [-finder exact|lsh] [-dup-fold]
 //	       [-jobs N] [-cpuprofile f] [-memprofile f]
-//	       [-v] [-print] [-pair f1,f2] file.ll
+//	       [-plan out.json | -apply plan.json]
+//	       [-v] [-print] [-pair f1,f2] file.ll [file2.ll ...]
 //
 // Without -pair, the whole-module pipeline runs (ranking + cost model);
 // with -pair, the named functions are merged unconditionally by the
 // SalSSA generator (combining -pair with -algo fmsa is rejected: FMSA
 // merges need whole-module register demotion). -print writes the
-// resulting module to stdout; statistics go to stderr.
+// resulting module(s) to stdout; statistics go to stderr.
+//
+// Several input files form a batch: each module runs through one shared
+// Optimizer (a session per module), with per-module statistics and an
+// aggregate summary at the end. -pair, -plan and -apply accept a single
+// input file.
+//
+// Plan/apply workflow (SalSSA variants only):
+//
+//	-plan out.json  dry-run the pipeline against a session: the module
+//	                is left untouched and the proposed merge plan —
+//	                folds, merges, profits, structural hashes — is
+//	                written to out.json ("-" for stdout). Review or
+//	                filter it, then commit it with -apply.
+//	-apply in.json  commit a previously written plan. Every referenced
+//	                function is verified against the plan's structural
+//	                hash, so a stale plan (the module changed since
+//	                planning) is rejected instead of merging the wrong
+//	                code.
 //
 // Pipeline knobs:
 //
@@ -53,6 +72,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -78,23 +98,26 @@ func main() {
 	dupFold := flag.Bool("dup-fold", false, "fold structurally identical functions into thunks before alignment")
 	jobs := flag.Int("jobs", 1, "parallel planning workers (0 = all CPUs)")
 	verbose := flag.Bool("v", false, "report per-stage progress on stderr")
-	print := flag.Bool("print", false, "print the resulting module to stdout")
+	print := flag.Bool("print", false, "print the resulting module(s) to stdout")
 	pair := flag.String("pair", "", "merge exactly this comma-separated function pair, unconditionally (SalSSA variants only)")
+	planOut := flag.String("plan", "", "dry run: write the proposed merge plan as JSON to this file (\"-\" = stdout) and leave the module untouched")
+	applyIn := flag.String("apply", "", "commit the JSON merge plan previously written by -plan")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fmerge [flags] file.ll")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: fmerge [flags] file.ll [file2.ll ...]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
+	if *planOut != "" && *applyIn != "" {
+		fatal(fmt.Errorf("-plan and -apply are mutually exclusive"))
 	}
-	m, err := repro.ParseModule(string(src))
-	if err != nil {
-		fatal(err)
+	if *pair != "" && (*planOut != "" || *applyIn != "") {
+		fatal(fmt.Errorf("-pair cannot be combined with -plan or -apply"))
+	}
+	if (*planOut != "" || *applyIn != "" || *pair != "") && flag.NArg() != 1 {
+		fatal(fmt.Errorf("-plan, -apply and -pair take exactly one input file"))
 	}
 	var tgt repro.Target
 	switch *target {
@@ -139,13 +162,19 @@ func main() {
 		opts = append(opts, repro.WithProgress(func(ev repro.Progress) {
 			switch ev.Stage {
 			case repro.StagePlan:
-				fmt.Fprintf(os.Stderr, "plan   [%d/%d] @%s + @%s\n", ev.Done, ev.Total, ev.F1, ev.F2)
+				fmt.Fprintf(os.Stderr, "plan   [run %d: %d/%d] @%s + @%s\n", ev.RunID, ev.Done, ev.Total, ev.F1, ev.F2)
 			case repro.StageCommit:
-				fmt.Fprintf(os.Stderr, "commit [%d] @%s + @%s -> @%s (profit %d)\n",
-					ev.Done, ev.F1, ev.F2, ev.Merged, ev.Profit)
+				verb := "->"
+				if !ev.Committed {
+					verb = "~>" // proposed or filtered, not applied
+				}
+				fmt.Fprintf(os.Stderr, "commit [run %d: %d] @%s + @%s %s @%s (profit %d)\n",
+					ev.RunID, ev.Done, ev.F1, ev.F2, verb, ev.Merged, ev.Profit)
 			}
 		}))
 	}
+	// One Optimizer serves the whole batch; each module gets its own
+	// session underneath.
 	opt, err := repro.New(opts...)
 	if err != nil {
 		fatal(err)
@@ -192,82 +221,183 @@ func main() {
 			f.Close()
 		}
 	}
+	// fatalClean is fatal through profile finalization — an unstopped
+	// CPU profile has no trailer and pprof rejects the file.
+	fatalClean := func(err error) {
+		writeProfiles()
+		fatal(err)
+	}
 
-	before := repro.EstimateSize(m, tgt)
-	var runErr error
-	if *pair != "" {
-		names := pairNames
-		merged, stats, err := opt.MergePair(ctx, m, names[0], names[1])
-		// As in the module branch: let a second interrupt kill the
-		// process during output.
-		stop()
+	var totalBefore, totalAfter, batchMerges, processed int
+	sawErr := false
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
 		if err != nil {
-			// Finalize the profiles first — an unstopped CPU profile has
-			// no trailer and pprof rejects the file.
-			writeProfiles()
-			fatal(err)
+			fatalClean(err)
 		}
-		fmt.Fprintf(os.Stderr, "merged @%s + @%s -> @%s\n", names[0], names[1], merged.Name())
-		fmt.Fprintf(os.Stderr, "  matches=%d (instructions %d), selects=%d, label selections=%d, xor rewrites=%d\n",
-			stats.Matches, stats.InstrMatches, stats.Selects, stats.LabelSelections, stats.XorRewrites)
-		fmt.Fprintf(os.Stderr, "  repaired defs=%d, coalesced pairs=%d\n", stats.RepairedDefs, stats.CoalescedPairs)
-	} else {
-		rep, err := opt.Optimize(ctx, m)
-		// Restore default signal behaviour: a second interrupt during the
-		// module print below kills the process instead of being swallowed.
-		stop()
+		m, err := repro.ParseModule(string(src))
 		if err != nil {
-			runErr = err
-			fmt.Fprintf(os.Stderr, "fmerge: pipeline stopped early: %v\n", err)
+			fatalClean(fmt.Errorf("%s: %w", path, err))
 		}
-		fmt.Fprintf(os.Stderr, "%s[t=%d]: %d merges committed, %d attempts",
-			alg, *threshold, len(rep.Merges), rep.Attempts)
-		if rep.Planned > 0 {
-			fmt.Fprintf(os.Stderr, " (%d trials planned in parallel)", rep.Planned)
+		label := ""
+		if flag.NArg() > 1 {
+			label = path + ": "
 		}
-		fmt.Fprintln(os.Stderr)
-		for _, rec := range rep.Merges {
-			status := "committed"
-			if !rec.Committed {
-				status = "skipped"
+		before := repro.EstimateSize(m, tgt)
+		totalBefore += before
+
+		switch {
+		case *pair != "":
+			merged, stats, err := opt.MergePair(ctx, m, pairNames[0], pairNames[1])
+			// As in the module branch: let a second interrupt kill the
+			// process during output.
+			stop()
+			if err != nil {
+				fatalClean(err)
 			}
-			fmt.Fprintf(os.Stderr, "  %-9s @%s + @%s (profit %d bytes)\n", status, rec.F1, rec.F2, rec.Profit)
-		}
-		if len(rep.Folds) > 0 {
-			fmt.Fprintf(os.Stderr, "%d duplicates folded without alignment\n", len(rep.Folds))
-			for _, fr := range rep.Folds {
-				fmt.Fprintf(os.Stderr, "  folded    @%s -> @%s (profit %d bytes)\n", fr.Dup, fr.Rep, fr.Profit)
+			fmt.Fprintf(os.Stderr, "merged @%s + @%s -> @%s\n", pairNames[0], pairNames[1], merged.Name())
+			fmt.Fprintf(os.Stderr, "  matches=%d (instructions %d), selects=%d, label selections=%d, xor rewrites=%d\n",
+				stats.Matches, stats.InstrMatches, stats.Selects, stats.LabelSelections, stats.XorRewrites)
+			fmt.Fprintf(os.Stderr, "  repaired defs=%d, coalesced pairs=%d\n", stats.RepairedDefs, stats.CoalescedPairs)
+
+		case *planOut != "":
+			s, err := opt.Open(ctx, m)
+			if err != nil {
+				fatalClean(err)
 			}
-		}
-		if *verbose {
-			if rep.Planned > 0 {
-				fmt.Fprintf(os.Stderr, "search: finder=%s, %d pairs tried (%d plan-cache hits, %d lazy replans)\n",
-					*finder, rep.Attempts, rep.CacheHits, rep.Attempts-rep.CacheHits)
-			} else {
-				fmt.Fprintf(os.Stderr, "search: finder=%s, %d pairs tried (serial planning, no cache)\n",
-					*finder, rep.Attempts)
+			plan, err := s.Plan(ctx)
+			s.Close()
+			stop()
+			if err != nil {
+				fatalClean(err)
 			}
-			fmt.Fprintf(os.Stderr, "search: %d finder queries scanned %d candidates (avg %.1f/query) in %v\n",
-				rep.Search.Queries, rep.Search.Scanned, rep.Search.AvgScanned(), rep.Search.QueryTime)
-			ac := rep.AlignCache
-			fmt.Fprintf(os.Stderr, "align: %d sequences interned (%d classes), %d cache hits\n",
-				ac.Misses, ac.Classes, ac.Hits)
+			blob, err := json.MarshalIndent(plan, "", "  ")
+			if err != nil {
+				fatalClean(err)
+			}
+			blob = append(blob, '\n')
+			if *planOut == "-" {
+				os.Stdout.Write(blob)
+			} else if err := os.WriteFile(*planOut, blob, 0o644); err != nil {
+				fatalClean(err)
+			}
+			profit := 0
+			for _, pm := range plan.Merges {
+				profit += pm.Profit
+			}
+			for _, pf := range plan.Folds {
+				profit += pf.Profit
+			}
+			fmt.Fprintf(os.Stderr, "planned %d merges and %d folds (projected profit %d bytes); module untouched\n",
+				len(plan.Merges), len(plan.Folds), profit)
+
+		case *applyIn != "":
+			blob, err := os.ReadFile(*applyIn)
+			if err != nil {
+				fatalClean(err)
+			}
+			var plan repro.MergePlan
+			if err := json.Unmarshal(blob, &plan); err != nil {
+				fatalClean(fmt.Errorf("%s: %w", *applyIn, err))
+			}
+			s, err := opt.Open(ctx, m)
+			if err != nil {
+				fatalClean(err)
+			}
+			rep, err := s.Apply(ctx, &plan)
+			s.Close()
+			stop()
+			if err != nil {
+				fatalClean(err)
+			}
+			reportModule(rep, label, *verbose, *finder)
+			batchMerges += len(rep.Merges)
+
+		default:
+			rep, err := opt.Optimize(ctx, m)
+			// Restore default signal behaviour: a second interrupt during
+			// the module print below kills the process instead of being
+			// swallowed.
+			if flag.NArg() == 1 {
+				stop()
+			}
+			if err != nil {
+				sawErr = true
+				fmt.Fprintf(os.Stderr, "fmerge: %spipeline stopped early: %v\n", label, err)
+			}
+			reportModule(rep, label, *verbose, *finder)
+			batchMerges += len(rep.Merges)
+		}
+
+		if err := repro.VerifyModule(m); err != nil {
+			fatalClean(fmt.Errorf("%sresult does not verify: %w", label, err))
+		}
+		after := repro.EstimateSize(m, tgt)
+		totalAfter += after
+		processed++
+		fmt.Fprintf(os.Stderr, "%ssize: %d -> %d bytes (%.2f%% reduction, %s)\n",
+			label, before, after, 100*float64(before-after)/float64(before), tgt)
+		// A dry run leaves the module untouched, so there is nothing to
+		// print — and "-plan -" owns stdout for the plan JSON.
+		if *print && *planOut == "" {
+			fmt.Print(repro.FormatModule(m))
+		}
+		if sawErr {
+			break // a cancelled batch stops at the interrupted module
 		}
 	}
 	writeProfiles()
-	if err := repro.VerifyModule(m); err != nil {
-		fatal(fmt.Errorf("result does not verify: %w", err))
-	}
-	after := repro.EstimateSize(m, tgt)
-	fmt.Fprintf(os.Stderr, "size: %d -> %d bytes (%.2f%% reduction, %s)\n",
-		before, after, 100*float64(before-after)/float64(before), tgt)
-	if *print {
-		fmt.Print(repro.FormatModule(m))
+	if flag.NArg() > 1 && totalBefore > 0 {
+		// processed, not NArg: a cancelled batch stops early and the
+		// summary must not claim the unvisited modules.
+		fmt.Fprintf(os.Stderr, "batch: %d of %d modules, %d merges, %d -> %d bytes (%.2f%% reduction)\n",
+			processed, flag.NArg(), batchMerges, totalBefore, totalAfter,
+			100*float64(totalBefore-totalAfter)/float64(totalBefore))
 	}
 	// A cancelled pipeline printed a valid but partial result; exit
 	// nonzero so scripts do not mistake it for a complete run.
-	if runErr != nil {
+	if sawErr {
 		os.Exit(1)
+	}
+}
+
+// reportModule prints one module run's statistics to stderr.
+func reportModule(rep *repro.Report, label string, verbose bool, finder string) {
+	fmt.Fprintf(os.Stderr, "%s%s[t=%d]: %d merges committed, %d attempts",
+		label, rep.Algorithm, rep.Threshold, len(rep.Merges), rep.Attempts)
+	if rep.Planned > 0 {
+		fmt.Fprintf(os.Stderr, " (%d trials planned in parallel)", rep.Planned)
+	}
+	fmt.Fprintln(os.Stderr)
+	for _, rec := range rep.Merges {
+		status := "committed"
+		if !rec.Committed {
+			status = "skipped"
+		}
+		fmt.Fprintf(os.Stderr, "  %-9s @%s + @%s (profit %d bytes)\n", status, rec.F1, rec.F2, rec.Profit)
+	}
+	if len(rep.Folds) > 0 {
+		fmt.Fprintf(os.Stderr, "%s%d duplicates folded without alignment\n", label, len(rep.Folds))
+		for _, fr := range rep.Folds {
+			fmt.Fprintf(os.Stderr, "  folded    @%s -> @%s (profit %d bytes)\n", fr.Dup, fr.Rep, fr.Profit)
+		}
+	}
+	if verbose {
+		if rep.Planned > 0 {
+			fmt.Fprintf(os.Stderr, "search: finder=%s, %d pairs tried (%d plan-cache hits, %d lazy replans)\n",
+				finder, rep.Attempts, rep.CacheHits, rep.Attempts-rep.CacheHits-rep.OutcomeHits)
+		} else {
+			fmt.Fprintf(os.Stderr, "search: finder=%s, %d pairs tried (serial planning, no cache)\n",
+				finder, rep.Attempts)
+		}
+		if rep.OutcomeHits > 0 {
+			fmt.Fprintf(os.Stderr, "search: %d trials served from the session outcome memo\n", rep.OutcomeHits)
+		}
+		fmt.Fprintf(os.Stderr, "search: %d finder queries scanned %d candidates (avg %.1f/query) in %v\n",
+			rep.Search.Queries, rep.Search.Scanned, rep.Search.AvgScanned(), rep.Search.QueryTime)
+		ac := rep.AlignCache
+		fmt.Fprintf(os.Stderr, "align: %d sequences interned (%d classes), %d cache hits\n",
+			ac.Misses, ac.Classes, ac.Hits)
 	}
 }
 

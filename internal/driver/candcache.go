@@ -1,0 +1,164 @@
+package driver
+
+import (
+	"repro/internal/fingerprint"
+	"repro/internal/ir"
+)
+
+// candidateCache memoizes finder top-t candidate lists across runs of a
+// session. A cached list for f stays exact until something could change
+// it, which the fingerprint metric makes cheap to decide:
+//
+//   - f itself was edited or removed — the list is dropped;
+//   - a member of the list was edited or removed — dropped via the
+//     member reverse index;
+//   - a changed (or new) function d could *enter* the list: the list is
+//     ordered by fingerprint distance, so d displaces a member only if
+//     Distance(f, d) <= the list's worst member distance (its radius).
+//     Lists with fewer than t members hold every live candidate and are
+//     dropped on any addition.
+//
+// Everything else provably returns the identical list, so the walk can
+// skip the finder query altogether. Combined with the outcome memo this
+// is what makes a small-delta re-optimize pay only for the delta: the
+// 99% of candidate lists the edit cannot reach are served from here.
+//
+// Only the session goroutine touches the cache.
+type candidateCache struct {
+	t     int
+	fps   map[*ir.Function]*fingerprint.Fingerprint
+	lists map[*ir.Function][]*ir.Function
+	// radius is the worst member distance of a full list; -1 marks an
+	// incomplete list (fewer than t members), invalidated by any add.
+	radius map[*ir.Function]int32
+	// member[g] is the set of list owners whose cached list contains g.
+	member map[*ir.Function]map[*ir.Function]bool
+}
+
+func newCandidateCache(t int) *candidateCache {
+	return &candidateCache{
+		t:      t,
+		fps:    map[*ir.Function]*fingerprint.Fingerprint{},
+		lists:  map[*ir.Function][]*ir.Function{},
+		radius: map[*ir.Function]int32{},
+		member: map[*ir.Function]map[*ir.Function]bool{},
+	}
+}
+
+// fp returns f's fingerprint for the radius checks, computing it
+// lazily on first use — index build stays a single fingerprint pass
+// (the finder's); only functions that actually get a cached list pay
+// here, once.
+func (c *candidateCache) fp(f *ir.Function) *fingerprint.Fingerprint {
+	v := c.fps[f]
+	if v == nil {
+		v = fingerprint.New(f)
+		c.fps[f] = v
+	}
+	return v
+}
+
+// get returns the cached list for f, if still valid.
+func (c *candidateCache) get(f *ir.Function) ([]*ir.Function, bool) {
+	if c == nil {
+		return nil, false
+	}
+	l, ok := c.lists[f]
+	return l, ok
+}
+
+// put caches the finder's list for f.
+func (c *candidateCache) put(f *ir.Function, list []*ir.Function) {
+	if c == nil {
+		return
+	}
+	c.lists[f] = list
+	r := int32(-1)
+	if len(list) == c.t {
+		r = fingerprint.Distance(c.fp(f), c.fp(list[len(list)-1]))
+	}
+	c.radius[f] = r
+	for _, g := range list {
+		set := c.member[g]
+		if set == nil {
+			set = map[*ir.Function]bool{}
+			c.member[g] = set
+		}
+		set[f] = true
+	}
+}
+
+// dropOwner forgets f's cached list.
+func (c *candidateCache) dropOwner(f *ir.Function) {
+	for _, g := range c.lists[f] {
+		delete(c.member[g], f)
+		if len(c.member[g]) == 0 {
+			delete(c.member, g)
+		}
+	}
+	delete(c.lists, f)
+	delete(c.radius, f)
+}
+
+// remove invalidates everything g touches: its own list and every list
+// it is a member of. The walk calls this the moment a commit (or fold)
+// removes g from the finder, so later queries in the same run see
+// exactly what the finder would return.
+func (c *candidateCache) remove(g *ir.Function) {
+	if c == nil {
+		return
+	}
+	for owner := range c.member[g] {
+		c.dropOwner(owner)
+	}
+	c.dropOwner(g)
+}
+
+// applyDelta reconciles the cache with a sync's re-indexed (changed)
+// and dropped (removed) functions. Candidate lists are a pure function
+// of the live candidates' fingerprints and names, so only
+// fingerprint-level changes matter: a re-indexed function whose
+// fingerprint is unchanged (an edit below the opcode-count level, or a
+// re-report of an untouched function) cannot move any list and is
+// skipped outright. For the rest, their own and their members' lists
+// go, and every surviving list whose radius the new fingerprint can
+// reach is dropped — everything left is provably still the exact top-t.
+func (c *candidateCache) applyDelta(changed, removed []*ir.Function) {
+	if c == nil || (len(changed) == 0 && len(removed) == 0) {
+		return
+	}
+	for _, g := range removed {
+		c.remove(g)
+		delete(c.fps, g)
+	}
+	var moved []*ir.Function
+	for _, d := range changed {
+		old := c.fps[d]
+		fresh := fingerprint.New(d)
+		if old != nil && *old == *fresh {
+			continue
+		}
+		c.remove(d)
+		c.fps[d] = fresh
+		moved = append(moved, d)
+	}
+	if len(moved) == 0 {
+		return
+	}
+	var doomed []*ir.Function
+	for owner, r := range c.radius {
+		self := c.fps[owner]
+		for _, d := range moved {
+			// r < 0: the list holds every live candidate, so any newly
+			// (re-)indexed function joins it. Ties on distance can still
+			// displace a member through the name ordering, hence <=.
+			if r < 0 || fingerprint.Distance(self, c.fps[d]) <= r {
+				doomed = append(doomed, owner)
+				break
+			}
+		}
+	}
+	for _, owner := range doomed {
+		c.dropOwner(owner)
+	}
+}

@@ -5,8 +5,12 @@
 // merges and rollback for rejected ones, plus the timing and memory
 // accounting the evaluation figures report.
 //
-// The pipeline is split into two stages:
+// The pipeline is split into three stages, keyed by a persistent
+// Session (see session.go):
 //
+//   - index build: OpenSession fingerprints, sketches and linearizes
+//     the candidate set once; Update/Remove maintain the indexes
+//     incrementally as callers mutate the module between runs.
 //   - planning: alignment and speculative code generation of candidate
 //     pairs. Each trial clones its pair into a private scratch module and
 //     builds the merged function there, so trials are pure with respect
@@ -14,9 +18,11 @@
 //     (Config.Parallelism).
 //   - commit: the serial greedy walk over the ranking that applies the
 //     profitability check, adopts winning merged functions into the real
-//     module, replaces the originals with thunks and updates the ranking.
+//     module, replaces the originals with thunks and updates the indexes.
+//     Session.Plan runs the same walk dry, returning a serializable Plan
+//     that Session.Apply can commit later.
 //
-// Both stages poll a context.Context, so a run can be cancelled mid-way;
+// All stages poll a context.Context, so a run can be cancelled mid-way;
 // committed merges are never rolled back, and the module remains valid.
 package driver
 
@@ -84,8 +90,14 @@ func (s Stage) String() string {
 
 // Progress is one observable pipeline event. Plan events report a trial
 // that finished planning; commit events report a profitable merge that
-// was recorded (committed or filtered).
+// was recorded (committed, filtered, or — during a dry Session.Plan run —
+// proposed).
 type Progress struct {
+	// RunID identifies the run emitting the event: every Optimize,
+	// Plan and Apply call gets a fresh, process-globally monotonic ID,
+	// so concurrent runs sharing one observer can be attributed at the
+	// callback.
+	RunID int64
 	// Stage is the reporting stage.
 	Stage Stage
 	// F1 and F2 name the candidate pair.
@@ -94,7 +106,8 @@ type Progress struct {
 	Merged string
 	// Profit is the estimated byte saving (commit events only).
 	Profit int
-	// Committed reports whether the merge was applied (commit events).
+	// Committed reports whether the merge was applied (commit events;
+	// always false for dry-run proposals).
 	Committed bool
 	// Done counts events of this stage so far; Total is the number of
 	// planned trials for plan events and 0 for commit events (the total
@@ -150,7 +163,9 @@ type Config struct {
 	// run are always serialized (plan events are emitted under the
 	// planner's lock, commit events from the committing goroutine), but
 	// plan-stage events come from planning workers, so the callback
-	// should not block for long.
+	// should not block for long. Events are emitted while the run holds
+	// its session's lock: the callback must not call back into the
+	// Session (Update/Remove/Plan/...), or it deadlocks.
 	Progress func(Progress)
 }
 
@@ -191,6 +206,11 @@ type Result struct {
 	// CacheHits counts commit-stage trials served from the speculative
 	// plan cache (the rest were replanned lazily).
 	CacheHits int
+	// OutcomeHits counts commit-stage trials served from the session's
+	// cross-run outcome memo: pairs already proven unprofitable on an
+	// earlier run of the same Session, skipped without any alignment or
+	// codegen. Always 0 for one-shot runs.
+	OutcomeHits int
 	// Search reports the candidate finder's query accounting.
 	Search search.Stats
 	// AlignCache reports the per-run linearization/class cache: every
@@ -253,201 +273,30 @@ func Run(m *ir.Module, cfg Config) *Result {
 	return res
 }
 
-// RunContext performs function merging on m in place. On cancellation it
-// stops between trials, leaves every already-committed merge in place
-// (the module still verifies), and returns the partial result together
-// with ctx.Err().
+// RunContext performs function merging on m in place: a one-shot
+// session — OpenSession, one Optimize, Close. On cancellation it stops
+// between trials, leaves every already-committed merge in place (the
+// module still verifies), and returns the partial result together with
+// ctx.Err(). Callers that re-optimize an evolving module should hold a
+// Session open instead and report deltas through Update/Remove, which
+// turns the per-run index build into incremental maintenance.
 func RunContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) {
-	start := time.Now()
-	res := &Result{Algorithm: cfg.Algorithm, Threshold: cfg.Threshold}
-	res.BaselineBytes = costmodel.ModuleBytes(m, cfg.Target)
-	progress := cfg.progressFn()
-
-	// Refuse to start under a dead context: FMSA's demote/clean-up round
-	// trip below leaves permanent residue, so a cancelled-before-start
-	// run must be a true no-op on the module.
-	if err := ctx.Err(); err != nil {
-		res.FinalBytes = res.BaselineBytes
-		res.TotalTime = time.Since(start)
-		return res, err
-	}
-
-	// The cost model must price the originals at their *final* (promoted)
-	// size — unmerged functions are promoted back during clean-up — so
-	// record sizes before any demotion.
-	preSize := map[*ir.Function]int{}
-	for _, f := range m.Defined() {
-		preSize[f] = costmodel.FuncBytes(f, cfg.Target)
-	}
-
-	// FMSA must demote every candidate function before it can attempt to
-	// merge at all; this is the source of both its alignment blow-up and
-	// the "FMSA Residue" effect on unmerged functions.
-	if cfg.Algorithm == FMSA {
-		fmsa.PrepareModule(m)
-	}
-
-	candidates := m.Defined()
-	if cfg.MinInstrs > 0 || len(cfg.SkipHot) > 0 {
-		var kept []*ir.Function
-		for _, f := range candidates {
-			if f.NumInstrs() < cfg.MinInstrs || cfg.SkipHot[f.Name()] {
-				continue
-			}
-			kept = append(kept, f)
+	s, err := OpenSession(ctx, m, cfg)
+	if err != nil {
+		// A dead context must still produce the historical stub result
+		// (baseline priced, nothing touched) rather than a nil report.
+		if ctx.Err() != nil && m != nil {
+			start := time.Now()
+			res := &Result{Algorithm: cfg.Algorithm, Threshold: cfg.Threshold}
+			res.BaselineBytes = costmodel.ModuleBytes(m, cfg.Target)
+			res.FinalBytes = res.BaselineBytes
+			res.TotalTime = time.Since(start)
+			return res, err
 		}
-		candidates = kept
+		return nil, err
 	}
-	// Duplicate folding: structurally identical candidates collapse
-	// into forwarders to one representative before any alignment runs,
-	// and leave the candidate set.
-	if cfg.DupFold {
-		candidates = foldDuplicates(candidates, preSize, cfg, res)
-	}
-	// One linearization/class cache serves the whole run: the finder
-	// reuses the class vectors for its sketches, every trial reuses the
-	// cached sequences (clone trials copy the class vector of their
-	// original), and commits invalidate the functions they thunk.
-	cache := align.NewCache()
-	finder := search.NewWithClasses(cfg.Finder, candidates, cache)
-	opts := cfg.CoreOptions()
-	order := finder.Order()
-
-	// Planning stage: speculatively plan every ranked candidate pair in a
-	// worker pool. Trials are pure (clone + scratch module), so the only
-	// shared state they touch is read-only.
-	var pl *planner
-	if cfg.Parallelism > 1 {
-		pl = planAll(ctx, order, finder, cache, preSize, opts, cfg, progress)
-		pl.wait()
-		res.Planned = pl.executed
-	}
-
-	// Commit stage: the serial greedy walk of the paper's pipeline. Its
-	// decisions replicate the serial pipeline exactly; planned trials are
-	// consumed where available and recomputed lazily where a commit
-	// shifted a candidate list.
-	consumed := map[*ir.Function]bool{}
-	mergeIdx := 0
-	var runErr error
-	// discard drops a rejected in-place trial's merged function from the
-	// module; scratch-built trials just become garbage with their module.
-	discard := func(t *trial) {
-		if t != nil && t.merged != nil && t.scratch == nil {
-			m.RemoveFunc(t.merged)
-		}
-	}
-	// release frees f1's speculative trials once the walk is past them,
-	// so the GC can reclaim their scratch modules during the walk.
-	release := func(f1 *ir.Function) {
-		if pl != nil {
-			pl.release(f1)
-		}
-	}
-commitLoop:
-	for _, f1 := range order {
-		if consumed[f1] {
-			release(f1)
-			continue
-		}
-		if err := ctx.Err(); err != nil {
-			runErr = err
-			break
-		}
-		var best *trial
-		for _, f2 := range finder.Candidates(f1, cfg.Threshold) {
-			if consumed[f2] {
-				continue
-			}
-			var t *trial
-			if pl != nil {
-				t = pl.take(f1, f2)
-			}
-			if t != nil {
-				res.CacheHits++
-			} else {
-				if err := ctx.Err(); err != nil {
-					runErr = err
-					discard(best)
-					break commitLoop
-				}
-				t = planTrialInPlace(ctx, m, f1, f2, cache, preSize, opts, cfg)
-			}
-			res.Attempts++
-			res.AlignTime += t.alignTime
-			res.CodegenTime += t.codegenTime
-			if t.matrixBytes > 0 {
-				res.SumMatrixBytes += t.matrixBytes
-				if t.matrixBytes > res.PeakMatrixBytes {
-					res.PeakMatrixBytes = t.matrixBytes
-				}
-			}
-			if t.err != nil {
-				if err := ctx.Err(); err != nil {
-					runErr = err
-					discard(best)
-					break commitLoop
-				}
-				continue
-			}
-			if t.profit > 0 && (best == nil || t.profit > best.profit) {
-				discard(best)
-				best = t
-			} else {
-				discard(t)
-			}
-		}
-		release(f1)
-		if best == nil {
-			continue
-		}
-		rec := MergeRecord{
-			F1: f1.Name(), F2: best.f2.Name(),
-			Profit: best.profit, Stats: best.stats, Committed: true,
-		}
-		if cfg.CommitFilter != nil && !cfg.CommitFilter(mergeIdx) {
-			rec.Committed = false
-			if best.scratch == nil {
-				rec.Merged = best.merged.Name()
-				discard(best)
-			} else {
-				rec.Merged = MergedName(m, f1, best.f2)
-			}
-		} else {
-			if best.scratch != nil {
-				adopt(m, best)
-			}
-			rec.Merged = best.merged.Name()
-			commit(f1, best.f2, best.merged)
-			consumed[f1] = true
-			consumed[best.f2] = true
-			finder.Remove(f1)
-			finder.Remove(best.f2)
-			// Their bodies are thunks now; the cached linearizations are
-			// stale and would pin the dead instructions.
-			cache.Invalidate(f1)
-			cache.Invalidate(best.f2)
-		}
-		res.Merges = append(res.Merges, rec)
-		mergeIdx++
-		progress(Progress{
-			Stage: StageCommit, F1: rec.F1, F2: rec.F2, Merged: rec.Merged,
-			Profit: rec.Profit, Committed: rec.Committed, Done: mergeIdx,
-		})
-	}
-
-	// Clean-up stage (Figure 1). FMSA re-promotes and simplifies every
-	// function it demoted; whatever cannot be promoted back is the
-	// residue. SalSSA never touched the unmerged functions. Clean-up runs
-	// even on cancellation so the module is always left consistent.
-	if cfg.Algorithm == FMSA {
-		fmsa.CleanupModule(m)
-	}
-	res.Search = finder.Stats()
-	res.AlignCache = cache.Stats()
-	res.FinalBytes = costmodel.ModuleBytes(m, cfg.Target)
-	res.TotalTime = time.Since(start)
-	return res, runErr
+	defer s.Close()
+	return s.Optimize(ctx)
 }
 
 // trial is the outcome of planning one candidate pair: the merged

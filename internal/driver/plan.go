@@ -4,10 +4,7 @@ import (
 	"context"
 	"sync"
 
-	"repro/internal/align"
-	"repro/internal/core"
 	"repro/internal/ir"
-	"repro/internal/search"
 )
 
 // pairKey identifies a directed candidate pair: (f1, f2) and (f2, f1)
@@ -29,15 +26,22 @@ type planner struct {
 }
 
 // planAll enumerates every ranked candidate pair — the same pairs the
-// serial pipeline would consider, computed against the pristine ranking —
-// and plans them in cfg.Parallelism workers. Pairs whose candidate lists
+// serial pipeline would consider, computed against the pristine indexes
+// (through the runner's dry-mode overlay when planning a dry run) — and
+// plans them in cfg.Parallelism workers. Pairs already memoized as
+// unprofitable are not speculated at all; pairs whose candidate lists
 // shift after commits are replanned lazily by the commit stage; pairs
 // planned here but never consumed are speculation waste (time and
 // transient memory), bounded by len(order) * Threshold trials.
-func planAll(ctx context.Context, order []*ir.Function, finder search.Finder, cache *align.Cache, preSize map[*ir.Function]int, opts core.Options, cfg Config, progress func(Progress)) *planner {
+func (r *runner) planAll(ctx context.Context, order []*ir.Function) *planner {
+	cfg := r.cfg
+	opts := cfg.CoreOptions()
 	var keys []pairKey
 	for _, f1 := range order {
-		for _, f2 := range finder.Candidates(f1, cfg.Threshold) {
+		for _, f2 := range r.candidates(f1, cfg.Threshold) {
+			if r.outcomes.has(f1, f2) {
+				continue
+			}
 			keys = append(keys, pairKey{f1: f1, f2: f2})
 		}
 	}
@@ -63,7 +67,7 @@ func planAll(ctx context.Context, order []*ir.Function, finder search.Finder, ca
 				if ctx.Err() != nil {
 					continue
 				}
-				t := planTrial(ctx, k.f1, k.f2, cache, preSize, opts, cfg)
+				t := planTrial(ctx, k.f1, k.f2, r.cache, r.sizes, opts, cfg)
 				p.mu.Lock()
 				row := p.trials[k.f1]
 				if row == nil {
@@ -74,8 +78,8 @@ func planAll(ctx context.Context, order []*ir.Function, finder search.Finder, ca
 				p.executed++
 				// Emitted under the lock so Done stays monotonic at the
 				// (serialized) observer.
-				progress(Progress{
-					Stage: StagePlan, F1: k.f1.Name(), F2: k.f2.Name(),
+				r.progress(Progress{
+					RunID: r.runID, Stage: StagePlan, F1: k.f1.Name(), F2: k.f2.Name(),
 					Done: p.executed, Total: total,
 				})
 				p.mu.Unlock()

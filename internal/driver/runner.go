@@ -1,0 +1,382 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/costmodel"
+	"repro/internal/ir"
+	"repro/internal/search"
+)
+
+// runner executes one pipeline run — the speculative planning stage and
+// the greedy commit walk — against a set of index layers. It serves two
+// modes from one code path:
+//
+//   - commit mode (Optimize, RunContext): merges are adopted into the
+//     module, originals become thunks, and the persistent indexes are
+//     updated in place, exactly like the historical one-shot pipeline;
+//   - dry mode (Plan): decisions are identical, but consumed functions
+//     are tombstoned in an overlay instead of being removed from the
+//     finder, merged-function names are claimed in an overlay instead
+//     of the module, trials always run against scratch clones, and the
+//     chosen merges are recorded in a Plan. The module and the
+//     persistent indexes come out untouched.
+type runner struct {
+	m      *ir.Module
+	cfg    Config
+	cache  *align.Cache
+	finder search.Finder
+	// cands, when non-nil, memoizes finder top-t lists across runs;
+	// fingerprint-radius invalidation keeps every served list exactly
+	// what the finder would return.
+	cands *candidateCache
+	sizes map[*ir.Function]int
+	// outcomes, when non-nil, memoizes unprofitable pairs across runs;
+	// pairs found there skip alignment and codegen entirely.
+	outcomes   *outcomeCache
+	commitMode bool
+	runID      int64
+	res        *Result
+	progress   func(Progress)
+	// markPending, when non-nil, tells the owning session which
+	// functions this run mutated (commit mode only).
+	markPending func(*ir.Function)
+
+	// Dry-mode overlays.
+	plan    *Plan
+	tomb    map[*ir.Function]bool
+	claimed map[string]bool
+}
+
+// lookup answers a finder query through the candidate-list cache:
+// lists the cache proves unchanged are served without touching the
+// finder; everything else is queried and cached for later runs.
+func (r *runner) lookup(f *ir.Function, t int) []*ir.Function {
+	if r.cands == nil || t != r.cfg.Threshold {
+		return r.finder.Candidates(f, t)
+	}
+	if l, ok := r.cands.get(f); ok {
+		return l
+	}
+	l := r.finder.Candidates(f, t)
+	r.cands.put(f, l)
+	return l
+}
+
+// candidates is lookup through the dry-mode tombstone overlay:
+// consumed functions are filtered out and the query widened so the
+// surviving list is still the exact top-t among live candidates.
+func (r *runner) candidates(f *ir.Function, t int) []*ir.Function {
+	if r.commitMode || len(r.tomb) == 0 {
+		return r.lookup(f, t)
+	}
+	raw := r.lookup(f, t+len(r.tomb))
+	out := make([]*ir.Function, 0, t)
+	for _, g := range raw {
+		if r.tomb[g] {
+			continue
+		}
+		out = append(out, g)
+		if len(out) == t {
+			break
+		}
+	}
+	return out
+}
+
+// retire takes f out of play the moment a commit or fold rewrites its
+// body; see retireIndexes for the rule.
+func (r *runner) retire(f *ir.Function) {
+	retireIndexes(r.finder, r.cands, r.cache, r.markPending, f)
+}
+
+// mergedName picks the collision-free name for merging f1 and f2,
+// consulting the dry-mode claimed overlay alongside the module so a dry
+// run names its proposals exactly as a commit run would.
+func (r *runner) mergedName(f1, f2 *ir.Function) string {
+	base := mergedBaseName(f1, f2)
+	name := base
+	for i := 1; r.m.FuncByName(name) != nil || r.claimed[name]; i++ {
+		name = fmt.Sprintf("%s.%d", base, i)
+	}
+	return name
+}
+
+// foldStep collapses families of structurally identical candidates
+// before any alignment runs (Config.DupFold): every profitable
+// duplicate becomes a forwarder to its family representative (commit
+// mode) or a tombstoned PlannedFold (dry mode) and leaves the candidate
+// set, so exact clone families cost zero DP cells. The representative
+// stays a candidate. Families follow candidate (module definition)
+// order, keeping folding deterministic at any parallelism.
+func (r *runner) foldStep(candidates []*ir.Function) {
+	for _, fam := range search.Families(candidates) {
+		rep := fam[0]
+		for _, dup := range fam[1:] {
+			profit := r.sizes[dup] - costmodel.ThunkBytes(r.cfg.Target, len(dup.Params()))
+			if profit <= 0 {
+				continue
+			}
+			if r.commitMode {
+				search.BuildForwarder(dup, rep)
+				r.retire(dup)
+			} else {
+				r.tomb[dup] = true
+				r.plan.Folds = append(r.plan.Folds, PlannedFold{
+					Dup: dup.Name(), Rep: rep.Name(), Profit: profit,
+					DupHash: search.HashFunction(dup), RepHash: search.HashFunction(rep),
+				})
+			}
+			r.res.Folds = append(r.res.Folds, FoldRecord{Dup: dup.Name(), Rep: rep.Name(), Profit: profit})
+		}
+	}
+}
+
+// walk runs the planning stage and the greedy commit walk over the
+// candidate set. candidates must be the eligible functions in module
+// definition order; the walk itself attempts merges largest-first
+// (finder order, paper §5.5). It returns ctx.Err() when cancelled
+// mid-run; everything committed before that stays.
+func (r *runner) walk(ctx context.Context, candidates []*ir.Function) error {
+	cfg := r.cfg
+	res := r.res
+	m := r.m
+	if cfg.DupFold {
+		r.foldStep(candidates)
+	}
+	opts := cfg.CoreOptions()
+	order := r.finder.Order()
+	if !r.commitMode && len(r.tomb) > 0 {
+		kept := order[:0]
+		for _, f := range order {
+			if !r.tomb[f] {
+				kept = append(kept, f)
+			}
+		}
+		order = kept
+	}
+
+	// Planning stage: speculatively plan every ranked candidate pair in
+	// a worker pool. Trials are pure (clone + scratch module), so the
+	// only shared state they touch is read-only.
+	var pl *planner
+	if cfg.Parallelism > 1 {
+		pl = r.planAll(ctx, order)
+		pl.wait()
+		res.Planned = pl.executed
+	}
+
+	// Commit stage: the serial greedy walk of the paper's pipeline.
+	// Planned trials are consumed where available and recomputed lazily
+	// where a commit shifted a candidate list.
+	consumed := map[*ir.Function]bool{}
+	mergeIdx := 0
+	var runErr error
+	// discard drops a rejected in-place trial's merged function from
+	// the module; scratch-built trials just become garbage with their
+	// module.
+	discard := func(t *trial) {
+		if t != nil && t.merged != nil && t.scratch == nil {
+			m.RemoveFunc(t.merged)
+		}
+	}
+	// release frees f1's speculative trials once the walk is past them,
+	// so the GC can reclaim their scratch modules during the walk.
+	release := func(f1 *ir.Function) {
+		if pl != nil {
+			pl.release(f1)
+		}
+	}
+commitLoop:
+	for _, f1 := range order {
+		if consumed[f1] {
+			release(f1)
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
+		var best *trial
+		for _, f2 := range r.candidates(f1, cfg.Threshold) {
+			if consumed[f2] {
+				continue
+			}
+			// Cross-run memo: a pair whose bodies were already proven
+			// unprofitable cannot become the best trial; skip its DP and
+			// codegen entirely.
+			if r.outcomes.has(f1, f2) {
+				res.Attempts++
+				res.OutcomeHits++
+				continue
+			}
+			var t *trial
+			if pl != nil {
+				t = pl.take(f1, f2)
+			}
+			if t != nil {
+				res.CacheHits++
+			} else {
+				if err := ctx.Err(); err != nil {
+					runErr = err
+					discard(best)
+					break commitLoop
+				}
+				if r.commitMode {
+					t = planTrialInPlace(ctx, m, f1, f2, r.cache, r.sizes, opts, cfg)
+				} else {
+					// Dry runs must not touch the module: replans use the
+					// same pure scratch-clone trials as the workers.
+					t = planTrial(ctx, f1, f2, r.cache, r.sizes, opts, cfg)
+				}
+			}
+			res.Attempts++
+			res.AlignTime += t.alignTime
+			res.CodegenTime += t.codegenTime
+			if t.matrixBytes > 0 {
+				res.SumMatrixBytes += t.matrixBytes
+				if t.matrixBytes > res.PeakMatrixBytes {
+					res.PeakMatrixBytes = t.matrixBytes
+				}
+			}
+			if t.err != nil {
+				if err := ctx.Err(); err != nil {
+					runErr = err
+					discard(best)
+					break commitLoop
+				}
+				continue
+			}
+			if t.profit > 0 && (best == nil || t.profit > best.profit) {
+				discard(best)
+				best = t
+			} else {
+				if t.profit <= 0 {
+					r.outcomes.put(f1, f2)
+				}
+				discard(t)
+			}
+		}
+		release(f1)
+		if best == nil {
+			continue
+		}
+		rec := MergeRecord{
+			F1: f1.Name(), F2: best.f2.Name(),
+			Profit: best.profit, Stats: best.stats, Committed: true,
+		}
+		if cfg.CommitFilter != nil && !cfg.CommitFilter(mergeIdx) {
+			rec.Committed = false
+			if best.scratch == nil {
+				rec.Merged = best.merged.Name()
+				discard(best)
+			} else {
+				rec.Merged = r.mergedName(f1, best.f2)
+			}
+		} else if r.commitMode {
+			if best.scratch != nil {
+				adopt(m, best)
+			}
+			rec.Merged = best.merged.Name()
+			commit(f1, best.f2, best.merged)
+			consumed[f1] = true
+			consumed[best.f2] = true
+			r.retire(f1)
+			r.retire(best.f2)
+			if r.markPending != nil {
+				r.markPending(best.merged)
+			}
+		} else {
+			// Dry mode: the merge is a proposal, not an applied change.
+			rec.Committed = false
+			name := r.mergedName(f1, best.f2)
+			r.claimed[name] = true
+			rec.Merged = name
+			consumed[f1] = true
+			consumed[best.f2] = true
+			r.tomb[f1] = true
+			r.tomb[best.f2] = true
+			r.plan.Merges = append(r.plan.Merges, PlannedMerge{
+				F1: f1.Name(), F2: best.f2.Name(), Merged: name, Profit: best.profit,
+				Hash1: search.HashFunction(f1), Hash2: search.HashFunction(best.f2),
+			})
+		}
+		res.Merges = append(res.Merges, rec)
+		mergeIdx++
+		r.progress(Progress{
+			RunID: r.runID, Stage: StageCommit, F1: rec.F1, F2: rec.F2,
+			Merged: rec.Merged, Profit: rec.Profit, Committed: rec.Committed, Done: mergeIdx,
+		})
+	}
+	return runErr
+}
+
+// outcomeCache memoizes candidate pairs whose merge trial completed and
+// was unprofitable. An unprofitable trial is a pure function of the two
+// function bodies and the generator options, so as long as neither body
+// changes the pair can be skipped on every later run — this is what
+// makes a re-optimize after a small delta pay only for the delta.
+// Entries are dropped whenever either function is re-indexed, removed
+// or thunked. Trials that error (cancellation, matrix caps) are never
+// memoized. Only the session goroutine touches the cache.
+type outcomeCache struct {
+	// pairs[f1][f2] records the directed pair (f1, f2); rev[f2] lists
+	// the f1 rows an invalidation of f2 must visit.
+	pairs map[*ir.Function]map[*ir.Function]bool
+	rev   map[*ir.Function]map[*ir.Function]bool
+}
+
+func newOutcomeCache() *outcomeCache {
+	return &outcomeCache{
+		pairs: map[*ir.Function]map[*ir.Function]bool{},
+		rev:   map[*ir.Function]map[*ir.Function]bool{},
+	}
+}
+
+// has reports whether (f1, f2) is memoized as unprofitable. A nil cache
+// (FMSA's throwaway runs) never hits.
+func (c *outcomeCache) has(f1, f2 *ir.Function) bool {
+	return c != nil && c.pairs[f1][f2]
+}
+
+// put memoizes (f1, f2) as unprofitable.
+func (c *outcomeCache) put(f1, f2 *ir.Function) {
+	if c == nil {
+		return
+	}
+	row := c.pairs[f1]
+	if row == nil {
+		row = map[*ir.Function]bool{}
+		c.pairs[f1] = row
+	}
+	row[f2] = true
+	back := c.rev[f2]
+	if back == nil {
+		back = map[*ir.Function]bool{}
+		c.rev[f2] = back
+	}
+	back[f1] = true
+}
+
+// invalidate drops every memoized pair involving f.
+func (c *outcomeCache) invalidate(f *ir.Function) {
+	if c == nil {
+		return
+	}
+	for f2 := range c.pairs[f] {
+		delete(c.rev[f2], f)
+		if len(c.rev[f2]) == 0 {
+			delete(c.rev, f2)
+		}
+	}
+	delete(c.pairs, f)
+	for f1 := range c.rev[f] {
+		delete(c.pairs[f1], f)
+		if len(c.pairs[f1]) == 0 {
+			delete(c.pairs, f1)
+		}
+	}
+	delete(c.rev, f)
+}

@@ -1,0 +1,629 @@
+// The long-lived merge engine. RunContext's one-shot pipeline is a thin
+// wrapper over a Session: OpenSession builds every index the pipeline
+// needs — the fingerprint/LSH candidate finder and the
+// linearization/class cache — exactly once, and the per-run stages
+// (plan, commit) reuse them across any number of Optimize / Plan /
+// Apply calls. Callers that mutate or delete functions between runs
+// report the delta through Update / Remove; only the touched functions
+// are re-fingerprinted, re-sketched and re-linearized, so a re-optimize
+// after a small edit pays for the edit, not for the module.
+//
+// Three index layers persist across runs:
+//
+//   - the search.Finder (fingerprint ranking or LSH buckets), updated
+//     incrementally through its Add/Remove entry points;
+//   - the align.Cache of linearizations and interned class vectors,
+//     invalidated per function through Invalidate;
+//   - the outcome memo: candidate pairs whose trial was unprofitable are
+//     remembered (an unprofitable trial is a pure function of the two
+//     bodies and the options), so a re-run skips their alignment DP and
+//     codegen entirely. Any edit to either function drops the entry.
+//
+// Runs come in two flavours sharing one walk: a committing run
+// (Optimize, the classic pipeline) mutates the module, while a dry run
+// (Plan) simulates the same greedy walk against tombstone overlays and
+// returns a serializable Plan of the merges it would commit. Apply
+// replays a (possibly filtered) Plan against the live module, verifying
+// each function's structural hash so a stale plan is rejected instead
+// of merging the wrong code.
+package driver
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/costmodel"
+	"repro/internal/fmsa"
+	"repro/internal/ir"
+	"repro/internal/search"
+)
+
+// runIDs hands out the process-global monotonic run identifiers carried
+// by Progress events, so concurrent runs sharing one observer can be
+// told apart at the callback.
+var runIDs atomic.Int64
+
+// newRunID returns the next run identifier.
+func newRunID() int64 { return runIDs.Add(1) }
+
+// Session is a long-lived merge engine over one module. It is created
+// by OpenSession, which builds all candidate and alignment indexes
+// once; Optimize, Plan and Apply then run the pipeline stages against
+// the persistent indexes, and Update / Remove re-index only the
+// functions a caller changed. Methods are safe for concurrent use but
+// execute one at a time (the session serializes itself); the module
+// must not be mutated by the caller while a session method runs.
+type Session struct {
+	// mu serializes every public method: sessions are safe for
+	// concurrent use, but calls execute one at a time.
+	mu  sync.Mutex
+	m   *ir.Module
+	cfg Config
+
+	closed bool
+
+	// Persistent indexes (nil for FMSA sessions, which rebuild their
+	// state inside every Optimize because register demotion rewrites
+	// the whole module around each run).
+	cache   *align.Cache
+	finder  search.Finder
+	cands   *candidateCache
+	sizes   map[*ir.Function]int
+	indexed map[*ir.Function]bool
+	byName  map[string]*ir.Function
+	// nameOf remembers the name each function was indexed under, so a
+	// rename between runs retires the stale byName alias instead of
+	// leaving it to misdirect a later Update/Remove.
+	nameOf map[*ir.Function]string
+
+	// pending records functions whose index entries are stale: true
+	// means "re-evaluate against the current body" (Update, commits),
+	// false means "force out of the candidate set" (Remove). The last
+	// marking wins; sync applies them at the start of the next run.
+	pending map[*ir.Function]bool
+
+	outcomes *outcomeCache
+
+	// Per-run stat baselines: the finder and cache accumulate across
+	// the session's lifetime, so each run reports the delta since the
+	// previous one (the first run's delta includes the index build,
+	// matching the one-shot pipeline's accounting).
+	lastSearch search.Stats
+	lastCache  align.CacheStats
+}
+
+// OpenSession builds a session over m: all candidate and alignment
+// indexes are constructed here, once, and reused by every subsequent
+// run. Open itself never mutates the module.
+func OpenSession(ctx context.Context, m *ir.Module, cfg Config) (*Session, error) {
+	if m == nil {
+		return nil, fmt.Errorf("driver: open session on nil module")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s := &Session{m: m, cfg: cfg, pending: map[*ir.Function]bool{}}
+	if cfg.Algorithm != FMSA {
+		s.buildIndexes()
+	}
+	return s, nil
+}
+
+// eligible reports whether f belongs in the candidate set: defined,
+// still in the module under its own name, large enough, and not on the
+// skip-hot list — the same filter the one-shot pipeline applies.
+func (s *Session) eligible(f *ir.Function) bool {
+	if f == nil || f.IsDecl() || s.m.FuncByName(f.Name()) != f {
+		return false
+	}
+	return f.NumInstrs() >= s.cfg.MinInstrs && !s.cfg.SkipHot[f.Name()]
+}
+
+// buildIndexes constructs the persistent index layers from scratch.
+func (s *Session) buildIndexes() {
+	s.cache = align.NewCache()
+	s.sizes = map[*ir.Function]int{}
+	s.indexed = map[*ir.Function]bool{}
+	s.byName = map[string]*ir.Function{}
+	s.nameOf = map[*ir.Function]string{}
+	s.outcomes = newOutcomeCache()
+	s.cands = newCandidateCache(s.cfg.Threshold)
+	var candidates []*ir.Function
+	for _, f := range s.m.Defined() {
+		if !s.eligible(f) {
+			continue
+		}
+		candidates = append(candidates, f)
+		s.index(f)
+	}
+	s.finder = search.NewWithClasses(s.cfg.Finder, candidates, s.cache)
+	s.lastSearch, s.lastCache = search.Stats{}, align.CacheStats{}
+}
+
+// markPending schedules f for re-indexing at the next sync.
+func (s *Session) markPending(f *ir.Function) { s.pending[f] = true }
+
+// index records f in the session's membership, name and size maps
+// under its current name, retiring any stale alias a rename left
+// behind. The finder and the candidate cache are updated by the caller
+// (bulk at Open, incrementally at sync).
+func (s *Session) index(f *ir.Function) {
+	if prev, ok := s.nameOf[f]; ok && prev != f.Name() && s.byName[prev] == f {
+		delete(s.byName, prev)
+	}
+	s.indexed[f] = true
+	s.byName[f.Name()] = f
+	s.nameOf[f] = f.Name()
+	s.sizes[f] = costmodel.FuncBytes(f, s.cfg.Target)
+}
+
+// retire takes f out of play the moment its body is rewritten by a
+// commit or fold; see retireIndexes for the rule.
+func (s *Session) retire(f *ir.Function) {
+	retireIndexes(s.finder, s.cands, s.cache, s.markPending, f)
+}
+
+// retireIndexes is the session's single index-invalidation rule for a
+// function whose body a commit or fold just rewrote: out of the finder
+// and the candidate-list cache, its cached linearization invalidated
+// (it would pin the dead instructions), and — when an owning session
+// exists — scheduled for re-indexing at the next sync. Session.retire
+// and runner.retire both delegate here so Apply and the walk can never
+// diverge on the rule.
+func retireIndexes(finder search.Finder, cands *candidateCache, cache *align.Cache, markPending func(*ir.Function), f *ir.Function) {
+	finder.Remove(f)
+	cands.remove(f)
+	cache.Invalidate(f)
+	if markPending != nil {
+		markPending(f)
+	}
+}
+
+// unindex drops f from every persistent index layer. The byName alias
+// is removed under the name f was indexed as, which survives renames.
+func (s *Session) unindex(f *ir.Function) {
+	s.outcomes.invalidate(f)
+	s.cache.Invalidate(f)
+	if s.indexed[f] {
+		s.finder.Remove(f)
+		delete(s.indexed, f)
+		delete(s.sizes, f)
+		if prev, ok := s.nameOf[f]; ok && s.byName[prev] == f {
+			delete(s.byName, prev)
+		}
+	}
+	delete(s.nameOf, f)
+}
+
+// sync applies the pending index updates: each marked function is
+// re-fingerprinted, re-sketched and re-linearized (or dropped), its
+// memoized trial outcomes are discarded, and the candidate-list cache
+// reconciles against the delta. After sync the indexes are exactly what
+// OpenSession would build from the module's current state.
+func (s *Session) sync() {
+	if s.finder == nil || len(s.pending) == 0 {
+		s.pending = map[*ir.Function]bool{}
+		return
+	}
+	var changed, removed []*ir.Function
+	for f, reindex := range s.pending {
+		if !reindex || !s.eligible(f) {
+			removed = append(removed, f)
+			s.unindex(f)
+			continue
+		}
+		// Candidate lists tie-break equal distances by name, so a
+		// renamed function can move lists even with an unchanged
+		// fingerprint: route it through the removed set too, which
+		// disables applyDelta's unchanged-fingerprint shortcut for it.
+		if prev, ok := s.nameOf[f]; ok && prev != f.Name() {
+			removed = append(removed, f)
+		}
+		s.outcomes.invalidate(f)
+		s.cache.Invalidate(f)
+		s.finder.Add(f)
+		s.index(f)
+		changed = append(changed, f)
+	}
+	// applyDelta re-fingerprints each *delta* function once more (the
+	// finder keeps its fingerprints private) — one extra instruction
+	// walk, dwarfed by the re-sketch and re-linearization above.
+	s.cands.applyDelta(changed, removed)
+	s.pending = map[*ir.Function]bool{}
+}
+
+// candidateOrder returns the current candidate set in module definition
+// order — the order the duplicate-folding families are formed in, kept
+// identical to the one-shot pipeline's.
+func (s *Session) candidateOrder() []*ir.Function {
+	var out []*ir.Function
+	for _, f := range s.m.Defined() {
+		if s.indexed[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// errClosed is returned by every method of a closed session.
+var errClosed = fmt.Errorf("driver: session is closed")
+
+// Close releases the session's indexes. Further method calls fail; the
+// module itself is untouched and keeps every committed merge.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.cache = nil
+	s.finder = nil
+	s.cands = nil
+	s.sizes = nil
+	s.indexed = nil
+	s.byName = nil
+	s.nameOf = nil
+	s.pending = nil
+	s.outcomes = nil
+	return nil
+}
+
+// Update re-indexes the named functions after the caller mutated them
+// (or added them to the module). A name that is no longer defined in
+// the module is treated as a removal; a name the session has never
+// indexed (deleted before it was ever eligible, or unknown) is
+// harmless and ignored, so callers can forward their whole edit log.
+func (s *Session) Update(ctx context.Context, changed ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, name := range changed {
+		if f := s.m.FuncByName(name); f != nil {
+			// The session knows a different object under this name: the
+			// caller either replaced the function (remove + add — the old
+			// object must leave the index or later runs would merge its
+			// dead body) or renamed it and reused the name. Mark the old
+			// object for re-evaluation; sync's eligibility check keeps a
+			// live renamed function (under its new name) and unindexes a
+			// detached one. An explicit earlier Remove mark is respected.
+			if old := s.byName[name]; old != nil && old != f {
+				if _, seen := s.pending[old]; !seen {
+					s.pending[old] = true
+				}
+			}
+			s.pending[f] = true
+			continue
+		}
+		if f := s.byName[name]; f != nil {
+			s.pending[f] = false
+		}
+		// A name in neither the module nor the index was never a
+		// candidate (deleted before it became eligible, or never
+		// existed); forwarding it is harmless, so it is ignored.
+	}
+	return nil
+}
+
+// Remove drops the named functions from the candidate set, typically
+// after the caller deleted them from the module. A function that is
+// still defined simply stops being considered until a later Update
+// re-admits it; names the session never indexed are ignored.
+func (s *Session) Remove(ctx context.Context, names ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, name := range names {
+		f := s.byName[name]
+		if f == nil {
+			f = s.m.FuncByName(name)
+		}
+		if f != nil {
+			s.pending[f] = false
+		}
+		// Unknown names were never candidates; removing them is a no-op.
+	}
+	return nil
+}
+
+// newResult scaffolds a run result with the module's baseline size.
+func (s *Session) newResult() *Result {
+	res := &Result{Algorithm: s.cfg.Algorithm, Threshold: s.cfg.Threshold}
+	res.BaselineBytes = costmodel.ModuleBytes(s.m, s.cfg.Target)
+	return res
+}
+
+// finishStats folds the per-run finder/cache deltas into res and moves
+// the session baselines forward.
+func (s *Session) finishStats(res *Result) {
+	cur := s.finder.Stats()
+	res.Search = search.Stats{
+		Queries:   cur.Queries - s.lastSearch.Queries,
+		Scanned:   cur.Scanned - s.lastSearch.Scanned,
+		QueryTime: cur.QueryTime - s.lastSearch.QueryTime,
+		Indexed:   cur.Indexed,
+	}
+	s.lastSearch = cur
+	cc := s.cache.Stats()
+	res.AlignCache = align.CacheStats{
+		Hits:      cc.Hits - s.lastCache.Hits,
+		Misses:    cc.Misses - s.lastCache.Misses,
+		Functions: cc.Functions,
+		Classes:   cc.Classes,
+	}
+	s.lastCache = cc
+}
+
+// Optimize runs the full pipeline — planning and commit — against the
+// persistent indexes, mutating the module in place exactly like the
+// one-shot RunContext. On cancellation it stops between trials, leaves
+// every already-committed merge in place, and returns the partial
+// result together with ctx.Err().
+func (s *Session) Optimize(ctx context.Context) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	start := time.Now()
+	if s.cfg.Algorithm == FMSA {
+		return s.optimizeFMSA(ctx, start)
+	}
+	res := s.newResult()
+	if err := ctx.Err(); err != nil {
+		res.FinalBytes = res.BaselineBytes
+		res.TotalTime = time.Since(start)
+		return res, err
+	}
+	s.sync()
+	r := &runner{
+		m: s.m, cfg: s.cfg, cache: s.cache, finder: s.finder,
+		cands: s.cands, sizes: s.sizes, outcomes: s.outcomes, commitMode: true,
+		runID: newRunID(), res: res, progress: s.cfg.progressFn(),
+		markPending: s.markPending,
+	}
+	runErr := r.walk(ctx, s.candidateOrder())
+	s.finishStats(res)
+	res.FinalBytes = costmodel.ModuleBytes(s.m, s.cfg.Target)
+	res.TotalTime = time.Since(start)
+	return res, runErr
+}
+
+// optimizeFMSA is the FMSA run: register demotion rewrites every
+// candidate before merging and register promotion rewrites them back
+// afterwards, so no index survives the run — the session builds
+// throwaway indexes over the demoted module, exactly like the one-shot
+// pipeline, and keeps none of them.
+func (s *Session) optimizeFMSA(ctx context.Context, start time.Time) (*Result, error) {
+	// FMSA carries no persistent indexes, so pending marks from
+	// Update/Remove have nothing to reconcile against — drop them, or
+	// they would accumulate and pin deleted function bodies for the
+	// session's lifetime.
+	s.pending = map[*ir.Function]bool{}
+	res := s.newResult()
+	// Refuse to start under a dead context: the demote/clean-up round
+	// trip leaves permanent residue, so a cancelled-before-start run
+	// must be a true no-op on the module.
+	if err := ctx.Err(); err != nil {
+		res.FinalBytes = res.BaselineBytes
+		res.TotalTime = time.Since(start)
+		return res, err
+	}
+	// The cost model must price the originals at their *final*
+	// (promoted) size — unmerged functions are promoted back during
+	// clean-up — so record sizes before any demotion.
+	preSize := map[*ir.Function]int{}
+	for _, f := range s.m.Defined() {
+		preSize[f] = costmodel.FuncBytes(f, s.cfg.Target)
+	}
+	fmsa.PrepareModule(s.m)
+	var candidates []*ir.Function
+	for _, f := range s.m.Defined() {
+		if f.NumInstrs() < s.cfg.MinInstrs || s.cfg.SkipHot[f.Name()] {
+			continue
+		}
+		candidates = append(candidates, f)
+	}
+	cache := align.NewCache()
+	finder := search.NewWithClasses(s.cfg.Finder, candidates, cache)
+	r := &runner{
+		m: s.m, cfg: s.cfg, cache: cache, finder: finder,
+		sizes: preSize, commitMode: true,
+		runID: newRunID(), res: res, progress: s.cfg.progressFn(),
+	}
+	runErr := r.walk(ctx, candidates)
+	// Clean-up (Figure 1): re-promote and simplify every demoted
+	// function; whatever cannot be promoted back is the residue.
+	// Clean-up runs even on cancellation so the module stays consistent.
+	fmsa.CleanupModule(s.m)
+	res.Search = finder.Stats()
+	res.AlignCache = cache.Stats()
+	res.FinalBytes = costmodel.ModuleBytes(s.m, s.cfg.Target)
+	res.TotalTime = time.Since(start)
+	return res, runErr
+}
+
+// Plan is the dry run: the same planning stage and greedy commit walk
+// as Optimize, simulated against tombstone overlays so the module is
+// not touched, returning the serializable Plan of merges (and duplicate
+// folds) a commit run would apply. Plans embed each function's
+// structural hash; Apply verifies them, so a plan can be shipped across
+// a process boundary and applied later — or filtered first.
+func (s *Session) Plan(ctx context.Context) (*Plan, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	if s.cfg.Algorithm == FMSA {
+		return nil, fmt.Errorf("driver: Plan requires a SalSSA variant; FMSA merges need whole-module register demotion (use Optimize)")
+	}
+	start := time.Now()
+	res := s.newResult()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.sync()
+	r := &runner{
+		m: s.m, cfg: s.cfg, cache: s.cache, finder: s.finder,
+		cands: s.cands, sizes: s.sizes, outcomes: s.outcomes, commitMode: false,
+		runID: newRunID(), res: res, progress: s.cfg.progressFn(),
+		plan: &Plan{
+			Algorithm: s.cfg.Algorithm.String(),
+			Threshold: s.cfg.Threshold,
+		},
+		tomb:    map[*ir.Function]bool{},
+		claimed: map[string]bool{},
+	}
+	r.plan.RunID = r.runID
+	runErr := r.walk(ctx, s.candidateOrder())
+	s.finishStats(res)
+	res.FinalBytes = res.BaselineBytes
+	res.TotalTime = time.Since(start)
+	if runErr != nil {
+		return nil, runErr
+	}
+	return r.plan, nil
+}
+
+// Apply commits a plan — typically one returned by Plan, possibly with
+// entries filtered out by the caller — against the live module. Every
+// referenced function is verified against the plan's structural hash
+// first: if the module changed underneath the plan, Apply fails with an
+// error naming the stale function instead of merging the wrong code.
+// Merges are re-generated from the current bodies (hash equality makes
+// this reproduce the planned merge) and committed unconditionally, in
+// plan order. The merged-function name is re-derived against the live
+// module, so it matches the plan's Merged name unless the module
+// gained a colliding name since planning — the Result records the name
+// actually used. On failure or cancellation the already-committed
+// prefix stays in place, mirroring Optimize's cancellation contract.
+func (s *Session) Apply(ctx context.Context, p *Plan) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	if s.cfg.Algorithm == FMSA {
+		return nil, fmt.Errorf("driver: Apply requires a SalSSA variant")
+	}
+	if p == nil {
+		return nil, fmt.Errorf("driver: Apply on nil plan")
+	}
+	if p.Algorithm != "" && p.Algorithm != s.cfg.Algorithm.String() {
+		return nil, fmt.Errorf("driver: plan was produced for %s, session runs %s", p.Algorithm, s.cfg.Algorithm)
+	}
+	start := time.Now()
+	res := s.newResult()
+	if err := ctx.Err(); err != nil {
+		res.FinalBytes = res.BaselineBytes
+		res.TotalTime = time.Since(start)
+		return res, err
+	}
+	s.sync()
+	runID := newRunID()
+	progress := s.cfg.progressFn()
+	opts := s.cfg.CoreOptions()
+	finish := func(err error) (*Result, error) {
+		s.finishStats(res)
+		res.FinalBytes = costmodel.ModuleBytes(s.m, s.cfg.Target)
+		res.TotalTime = time.Since(start)
+		return res, err
+	}
+	consumed := map[string]bool{}
+	stale := func(name string, want uint64) error {
+		f := s.m.FuncByName(name)
+		if f == nil {
+			return fmt.Errorf("driver: plan is stale: function @%s is gone", name)
+		}
+		if search.HashFunction(f) != want {
+			return fmt.Errorf("driver: plan is stale: @%s changed since planning", name)
+		}
+		return nil
+	}
+	for _, pf := range p.Folds {
+		if pf.Dup == pf.Rep {
+			return finish(fmt.Errorf("driver: plan folds @%s into itself", pf.Dup))
+		}
+		if consumed[pf.Dup] || consumed[pf.Rep] {
+			return finish(fmt.Errorf("driver: plan folds @%s twice", pf.Dup))
+		}
+		if err := stale(pf.Dup, pf.DupHash); err != nil {
+			return finish(err)
+		}
+		if err := stale(pf.Rep, pf.RepHash); err != nil {
+			return finish(err)
+		}
+		dup, rep := s.m.FuncByName(pf.Dup), s.m.FuncByName(pf.Rep)
+		search.BuildForwarder(dup, rep)
+		s.retire(dup)
+		consumed[pf.Dup] = true
+		res.Folds = append(res.Folds, FoldRecord{Dup: pf.Dup, Rep: pf.Rep, Profit: pf.Profit})
+	}
+	mergeIdx := 0
+	for _, pm := range p.Merges {
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
+		if pm.F1 == pm.F2 {
+			return finish(fmt.Errorf("driver: plan merges @%s with itself", pm.F1))
+		}
+		if consumed[pm.F1] || consumed[pm.F2] {
+			return finish(fmt.Errorf("driver: plan consumes @%s or @%s twice", pm.F1, pm.F2))
+		}
+		if err := stale(pm.F1, pm.Hash1); err != nil {
+			return finish(err)
+		}
+		if err := stale(pm.F2, pm.Hash2); err != nil {
+			return finish(err)
+		}
+		f1, f2 := s.m.FuncByName(pm.F1), s.m.FuncByName(pm.F2)
+		if _, ok := s.sizes[f1]; !ok {
+			s.sizes[f1] = costmodel.FuncBytes(f1, s.cfg.Target)
+		}
+		if _, ok := s.sizes[f2]; !ok {
+			s.sizes[f2] = costmodel.FuncBytes(f2, s.cfg.Target)
+		}
+		t := planTrialInPlace(ctx, s.m, f1, f2, s.cache, s.sizes, opts, s.cfg)
+		res.Attempts++
+		res.AlignTime += t.alignTime
+		res.CodegenTime += t.codegenTime
+		if t.matrixBytes > 0 {
+			res.SumMatrixBytes += t.matrixBytes
+			if t.matrixBytes > res.PeakMatrixBytes {
+				res.PeakMatrixBytes = t.matrixBytes
+			}
+		}
+		if t.err != nil {
+			return finish(fmt.Errorf("driver: applying @%s + @%s: %w", pm.F1, pm.F2, t.err))
+		}
+		commit(f1, f2, t.merged)
+		s.retire(f1)
+		s.retire(f2)
+		s.markPending(t.merged)
+		consumed[pm.F1] = true
+		consumed[pm.F2] = true
+		rec := MergeRecord{
+			F1: pm.F1, F2: pm.F2, Merged: t.merged.Name(),
+			Profit: t.profit, Stats: t.stats, Committed: true,
+		}
+		res.Merges = append(res.Merges, rec)
+		mergeIdx++
+		progress(Progress{
+			RunID: runID, Stage: StageCommit, F1: rec.F1, F2: rec.F2,
+			Merged: rec.Merged, Profit: rec.Profit, Committed: true, Done: mergeIdx,
+		})
+	}
+	return finish(nil)
+}

@@ -265,12 +265,29 @@ func (l *LSH) removeLocked(f *ir.Function) {
 			l.bands[b][k] = bucket
 		}
 	}
+	// The sorted position is computed from f's *current* (size, name);
+	// if f was renamed since it was indexed, its entry sorts elsewhere
+	// in the equal-size run, so fall back to a full scan rather than
+	// leave a stale duplicate behind (which would outlive its
+	// fingerprint and poison later queries).
 	i := sort.Search(len(l.bySize), func(i int) bool { return !l.sizeLess(l.bySize[i], f) })
-	for ; i < len(l.bySize); i++ {
-		if l.bySize[i] == f {
-			l.bySize = append(l.bySize[:i], l.bySize[i+1:]...)
+	found := -1
+	for j := i; j < len(l.bySize); j++ {
+		if l.bySize[j] == f {
+			found = j
 			break
 		}
+	}
+	if found < 0 {
+		for j := i - 1; j >= 0; j-- {
+			if l.bySize[j] == f {
+				found = j
+				break
+			}
+		}
+	}
+	if found >= 0 {
+		l.bySize = append(l.bySize[:found], l.bySize[found+1:]...)
 	}
 	delete(l.fps, f)
 	delete(l.keys, f)

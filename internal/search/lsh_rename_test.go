@@ -1,0 +1,46 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// TestLSHRenameReindex: re-indexing a function after a rename must
+// replace its size-sorted entry, not duplicate it — the stale entry
+// would outlive its fingerprint and panic later queries. This is the
+// Session.Update path for renamed functions.
+func TestLSHRenameReindex(t *testing.T) {
+	m := synth.Generate(synth.Profile{
+		Name: "ren", Seed: 5, Funcs: 12,
+		MinSize: 20, AvgSize: 40, MaxSize: 40,
+		CloneFrac: 0.8, FamilySize: 3, MutRate: 0, Loops: 0.4,
+	})
+	funcs := m.Defined()
+	l := NewLSH(funcs)
+	n := l.Stats().Indexed
+
+	// Rename a function so its (size, name) sort key moves within the
+	// equal-size run, then re-index it as Session.sync does.
+	f := funcs[len(funcs)/2]
+	f.SetName("zzz_" + f.Name())
+	l.Add(f)
+	if got := l.Stats().Indexed; got != n {
+		t.Fatalf("re-add after rename changed index count: %d -> %d", n, got)
+	}
+	if got := len(l.Order()); got != n {
+		t.Fatalf("Order has %d entries for %d functions (stale duplicate)", got, n)
+	}
+
+	// Remove it and make sure no half-dead entry poisons queries.
+	l.Remove(f)
+	if got := l.Stats().Indexed; got != n-1 {
+		t.Fatalf("remove after rename: index count %d, want %d", got, n-1)
+	}
+	for _, g := range l.Order() {
+		if g == f {
+			t.Fatal("removed function still in Order")
+		}
+		l.Candidates(g, 3) // must not panic on a dangling fingerprint
+	}
+}

@@ -226,10 +226,11 @@ func WithDupFold(on bool) Option {
 // Optimizer; plan-stage events may be emitted from planning workers, so
 // fn should not block for long. A nil fn disables observation.
 //
-// Events carry no run identifier: concurrent Optimize calls sharing one
-// Optimizer interleave their events at the callback. When per-run
-// attribution matters, build one Optimizer per run (they are cheap) and
-// close the run's identity over fn.
+// Concurrent runs sharing one Optimizer (or one Session) interleave
+// their events at the callback; Progress.RunID — fresh and monotonic
+// per Optimize/Plan/Apply call — attributes each event to its run.
+// Events are emitted while the run holds its Session's internal lock,
+// so fn must not call back into a Session — it would deadlock.
 func WithProgress(fn func(Progress)) Option {
 	return func(o *Optimizer) error {
 		o.progress = fn
@@ -275,7 +276,11 @@ func (o *Optimizer) config() driver.Config {
 }
 
 // Optimize runs function merging over m in place and returns the report
-// (committed merges, size reduction, phase timings).
+// (committed merges, size reduction, phase timings). It is a one-shot
+// session — Open, one Session.Optimize, Close — so its committed merge
+// set is exactly the Session path's; callers that re-optimize an
+// evolving module should hold a Session open instead and pay only for
+// the delta.
 //
 // The context cancels the run between (and inside) merge trials: on
 // cancellation Optimize stops early, leaves every already-committed
@@ -298,6 +303,9 @@ func (o *Optimizer) Optimize(ctx context.Context, m *Module) (*Report, error) {
 func (o *Optimizer) MergePair(ctx context.Context, m *Module, name1, name2 string) (*Function, *MergeStats, error) {
 	if o.algorithm == FMSA {
 		return nil, nil, fmt.Errorf("repro: MergePair supports the SalSSA variants only; use Optimize for FMSA")
+	}
+	if name1 == name2 {
+		return nil, nil, fmt.Errorf("repro: cannot merge function %q with itself", name1)
 	}
 	f1, f2 := m.FuncByName(name1), m.FuncByName(name2)
 	if f1 == nil || f2 == nil {

@@ -12,6 +12,10 @@
 //   - (*Optimizer).Optimize: the whole-module pipeline — candidate
 //     ranking, parallel merge planning, the profitability cost model,
 //     thunk creation — with context cancellation;
+//   - (*Optimizer).Open + Session: the long-lived engine — indexes built
+//     once, maintained incrementally (Update/Remove) as the module
+//     evolves, with a Plan/Apply split for dry runs and deferred,
+//     filtered commits;
 //   - (*Optimizer).MergePair: merge one pair unconditionally and inspect
 //     the generator's statistics;
 //   - EstimateSize: the per-target object-size model used to decide
@@ -138,17 +142,35 @@ type Options struct {
 // OptimizeModule runs function merging over m in place and returns the
 // report (committed merges, size reduction, phase timings).
 //
+// Out-of-range option values are normalized to the defaults rather than
+// rejected: an unknown Algorithm runs SalSSA, an unknown Target prices
+// for X86_64, and a Threshold below 1 becomes 1 — the historical facade
+// never validated, and silently passing unknown enum values through to
+// the pipeline is worse than either erroring or defaulting.
+//
 // Deprecated: use New(...).Optimize(ctx, m), which adds cancellation,
-// parallel planning, progress observation and the remaining pipeline
-// knobs. OptimizeModule is equivalent to a serial Optimizer run.
+// parallel planning, progress observation, validation errors and the
+// remaining pipeline knobs. OptimizeModule is equivalent to a serial
+// Optimizer run.
 func OptimizeModule(m *Module, opts Options) *Report {
 	// Start from New's defaults (it cannot fail without options), then
-	// override directly: the old facade accepted any Algorithm/Target
-	// value, so the validating option constructors are bypassed.
+	// override directly with the normalized values: the old facade's
+	// signature has no error result, so the validating option
+	// constructors cannot be used.
 	o, _ := New()
-	o.algorithm = opts.Algorithm
+	switch opts.Algorithm {
+	case SalSSA, SalSSANoPC, FMSA:
+		o.algorithm = opts.Algorithm
+	default:
+		o.algorithm = SalSSA
+	}
+	switch opts.Target {
+	case X86_64, Thumb:
+		o.target = opts.Target
+	default:
+		o.target = X86_64
+	}
 	o.threshold = opts.Threshold
-	o.target = opts.Target
 	if o.threshold <= 0 {
 		o.threshold = 1
 	}

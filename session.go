@@ -1,0 +1,124 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/driver"
+)
+
+// Session is a long-lived merge engine over one module, created by
+// (*Optimizer).Open. Where Optimize rebuilds every index — fingerprint
+// ranking, LSH buckets, linearization/class cache — from scratch on
+// each call, a Session builds them once and maintains them
+// incrementally, so repeated runs over an evolving module pay only for
+// the delta:
+//
+//	s, _ := opt.Open(ctx, m)
+//	defer s.Close()
+//	s.Optimize(ctx)              // full first run, indexes retained
+//	...caller edits @foo, deletes @bar...
+//	s.Update(ctx, "foo")         // re-index just the touched function
+//	s.Remove(ctx, "bar")
+//	s.Optimize(ctx)              // pays for the delta, not the module
+//
+// Beyond incremental Optimize, a Session splits planning from
+// committing: Plan returns a serializable MergePlan of the merges a run
+// would commit without touching the module, and Apply commits a
+// (possibly filtered) plan later — the shape a build service needs to
+// review, shard or audit merges before applying them.
+//
+// Sessions additionally memoize unprofitable candidate pairs across
+// runs (an unprofitable trial depends only on the two bodies and the
+// options), so a re-optimize skips the alignment DP of everything that
+// already failed the cost model; see Report.OutcomeHits.
+//
+// Session methods are safe for concurrent use but execute one at a
+// time; the module must not be mutated while a session method runs.
+// The FMSA baseline is supported for Optimize only (register demotion
+// rewrites the whole module around each run, so nothing can be carried
+// over); Plan and Apply require a SalSSA variant.
+type Session struct {
+	s *driver.Session
+}
+
+// MergePlan is the serializable outcome of Session.Plan: the duplicate
+// folds and merges a run would commit, in commit order, with nothing
+// applied. It round-trips through encoding/json; Session.Apply verifies
+// the embedded structural hashes, so a stale plan is rejected rather
+// than silently merging changed code. Filtering entries out of a plan
+// is sound; reordering them is not.
+type MergePlan = driver.Plan
+
+// PlannedMerge is one proposed merge within a MergePlan.
+type PlannedMerge = driver.PlannedMerge
+
+// PlannedFold is one proposed duplicate fold within a MergePlan.
+type PlannedFold = driver.PlannedFold
+
+// Open builds a Session over m: every candidate and alignment index is
+// constructed here, once, and then maintained incrementally. Open never
+// mutates the module. The Optimizer stays reusable: any number of
+// sessions (over different modules) may share it, and its one-shot
+// methods keep working alongside them.
+func (o *Optimizer) Open(ctx context.Context, m *Module) (*Session, error) {
+	if m == nil {
+		return nil, fmt.Errorf("repro: Open on nil module")
+	}
+	ds, err := driver.OpenSession(ctx, m, o.config())
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: ds}, nil
+}
+
+// Optimize runs the full merging pipeline against the session's
+// indexes, mutating the module in place. The first call is equivalent
+// to (*Optimizer).Optimize; later calls are incremental, paying only
+// for functions changed through Update/Remove (or by earlier commits).
+// On cancellation it stops between trials, leaves every
+// already-committed merge in place, and returns the partial report
+// together with ctx.Err().
+func (s *Session) Optimize(ctx context.Context) (*Report, error) {
+	return s.s.Optimize(ctx)
+}
+
+// Plan is the dry run: the same candidate walk as Optimize, simulated
+// without touching the module, returning the MergePlan of merges (and
+// duplicate folds) a commit run would apply. Plan requires a SalSSA
+// variant.
+func (s *Session) Plan(ctx context.Context) (*MergePlan, error) {
+	return s.s.Plan(ctx)
+}
+
+// Apply commits a plan — typically a possibly-filtered result of Plan —
+// against the module. Every referenced function is verified against the
+// plan's structural hash first; if the module changed underneath the
+// plan, Apply fails with an error naming the stale function. On failure
+// or cancellation the already-committed prefix stays in place.
+func (s *Session) Apply(ctx context.Context, plan *MergePlan) (*Report, error) {
+	return s.s.Apply(ctx, plan)
+}
+
+// Update re-indexes the named functions after the caller mutated them
+// (or added them to the module): only they are re-fingerprinted,
+// re-sketched and re-linearized, and only trial outcomes involving them
+// are forgotten. A name no longer defined in the module is treated as a
+// removal; a name the session has never indexed is harmless and
+// ignored, so callers can forward their whole edit log.
+func (s *Session) Update(ctx context.Context, changed ...string) error {
+	return s.s.Update(ctx, changed...)
+}
+
+// Remove drops the named functions from the candidate set, typically
+// after the caller deleted them from the module. A function that is
+// still defined simply stops being considered until a later Update
+// re-admits it; names the session never indexed are ignored.
+func (s *Session) Remove(ctx context.Context, names ...string) error {
+	return s.s.Remove(ctx, names...)
+}
+
+// Close releases the session's indexes; further method calls fail. The
+// module is untouched and keeps every committed merge. Close is
+// idempotent.
+func (s *Session) Close() error { return s.s.Close() }
