@@ -5,7 +5,8 @@
 //	fmerge [-algo salssa|salssa-nopc|fmsa] [-t N] [-target x86-64|thumb]
 //	       [-linear-align] [-max-cells N] [-min-instrs N]
 //	       [-skip-hot f1,f2,...] [-finder exact|lsh] [-dup-fold]
-//	       [-jobs N] [-cpuprofile f] [-memprofile f]
+//	       [-max-family N] [-rounds N] [-jobs N]
+//	       [-cpuprofile f] [-memprofile f]
 //	       [-plan out.json | -apply plan.json]
 //	       [-v] [-print] [-pair f1,f2] file.ll [file2.ll ...]
 //
@@ -50,13 +51,27 @@
 //	                large modules)
 //	-dup-fold       fold structurally identical functions into
 //	                forwarding thunks before any alignment runs
+//	-max-family N   flatten merge chains into k-ary families of up to
+//	                N members (default 4): when a merged function finds
+//	                another profitable partner, the family's original
+//	                bodies re-merge into one fresh body behind an
+//	                integer function identifier instead of nesting
+//	                another pairwise layer; 2 disables flattening
+//	-rounds N       re-optimize each module up to N times through one
+//	                session (default 1 = the historical one-shot run;
+//	                0 = until a round commits nothing). Merged
+//	                functions re-enter the ranking between rounds, so
+//	                chains — and with -max-family >= 3, flattened
+//	                families — need N > 1
 //	-jobs N         plan candidate merges with N parallel workers
 //	                (0 = all CPUs); the committed merges are identical
 //	                to a serial run
 //	-v              report per-stage progress on stderr, plus a
 //	                candidate-search summary (pairs tried, plan-cache
-//	                hits, finder query time) and the alignment-cache
+//	                hits, finder query time), the alignment-cache
 //	                summary (sequences interned/reused, class count)
+//	                and the merge-family histogram (family sizes alive,
+//	                chains flattened)
 //
 // Profiling knobs (see README "Profiling the pipeline"):
 //
@@ -79,6 +94,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"syscall"
 
@@ -96,6 +112,8 @@ func main() {
 	skipHot := flag.String("skip-hot", "", "comma-separated functions excluded from merging")
 	finder := flag.String("finder", "exact", "candidate search: exact or lsh")
 	dupFold := flag.Bool("dup-fold", false, "fold structurally identical functions into thunks before alignment")
+	maxFamily := flag.Int("max-family", 4, "flatten merge chains into k-ary families of up to N members (2 = always nest pairwise)")
+	rounds := flag.Int("rounds", 1, "re-optimize each module up to N times through one session (0 = to fixpoint); chains form across rounds, so flattening needs N > 1")
 	jobs := flag.Int("jobs", 1, "parallel planning workers (0 = all CPUs)")
 	verbose := flag.Bool("v", false, "report per-stage progress on stderr")
 	print := flag.Bool("print", false, "print the resulting module(s) to stdout")
@@ -153,6 +171,7 @@ func main() {
 		repro.WithMinInstrs(*minInstrs),
 		repro.WithFinder(fk),
 		repro.WithDupFold(*dupFold),
+		repro.WithMaxFamily(*maxFamily),
 		repro.WithParallelism(*jobs),
 	}
 	if *skipHot != "" {
@@ -314,7 +333,7 @@ func main() {
 			batchMerges += len(rep.Merges)
 
 		default:
-			rep, err := opt.Optimize(ctx, m)
+			rep, err := optimizeRounds(ctx, opt, m, *rounds)
 			// Restore default signal behaviour: a second interrupt during
 			// the module print below kills the process instead of being
 			// swallowed.
@@ -361,7 +380,46 @@ func main() {
 	}
 }
 
-// reportModule prints one module run's statistics to stderr.
+// optimizeRounds runs the whole-module pipeline up to rounds times
+// through one session (0 = until a round commits nothing), so merged
+// functions can re-enter the ranking and chains can form — and, with
+// family tracking on, flatten. One round is exactly the historical
+// one-shot pipeline. The returned report aggregates the merge and fold
+// records of every round; sizes, search and family stats are the final
+// round's.
+func optimizeRounds(ctx context.Context, opt *repro.Optimizer, m *repro.Module, rounds int) (*repro.Report, error) {
+	if rounds == 1 {
+		return opt.Optimize(ctx, m)
+	}
+	s, err := opt.Open(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	var merges []repro.MergeRecord
+	var folds []repro.FoldRecord
+	flattened, baseline := 0, 0
+	for i := 0; ; i++ {
+		rep, err := s.Optimize(ctx)
+		if rep == nil {
+			return nil, err
+		}
+		if i == 0 {
+			baseline = rep.BaselineBytes
+		}
+		committed := len(rep.Merges)
+		merges = append(merges, rep.Merges...)
+		folds = append(folds, rep.Folds...)
+		flattened += rep.Flattened
+		rep.Merges = merges
+		rep.Folds = folds
+		rep.Flattened = flattened
+		rep.BaselineBytes = baseline
+		if err != nil || committed == 0 || (rounds != 0 && i == rounds-1) {
+			return rep, err
+		}
+	}
+}
 func reportModule(rep *repro.Report, label string, verbose bool, finder string) {
 	fmt.Fprintf(os.Stderr, "%s%s[t=%d]: %d merges committed, %d attempts",
 		label, rep.Algorithm, rep.Threshold, len(rep.Merges), rep.Attempts)
@@ -373,6 +431,11 @@ func reportModule(rep *repro.Report, label string, verbose bool, finder string) 
 		status := "committed"
 		if !rec.Committed {
 			status = "skipped"
+		}
+		if len(rec.Family) > 0 {
+			fmt.Fprintf(os.Stderr, "  %-9s family {%s} flattened -> @%s (profit %d bytes)\n",
+				status, strings.Join(rec.Family, ", "), rec.Merged, rec.Profit)
+			continue
 		}
 		fmt.Fprintf(os.Stderr, "  %-9s @%s + @%s (profit %d bytes)\n", status, rec.F1, rec.F2, rec.Profit)
 	}
@@ -398,6 +461,19 @@ func reportModule(rep *repro.Report, label string, verbose bool, finder string) 
 		ac := rep.AlignCache
 		fmt.Fprintf(os.Stderr, "align: %d sequences interned (%d classes), %d cache hits\n",
 			ac.Misses, ac.Classes, ac.Hits)
+		if rep.Families > 0 {
+			sizes := make([]int, 0, len(rep.FamilySizes))
+			for size := range rep.FamilySizes {
+				sizes = append(sizes, size)
+			}
+			sort.Ints(sizes)
+			var hist []string
+			for _, size := range sizes {
+				hist = append(hist, fmt.Sprintf("%d-way x%d", size, rep.FamilySizes[size]))
+			}
+			fmt.Fprintf(os.Stderr, "families: %d alive (%s), %d chains flattened this run\n",
+				rep.Families, strings.Join(hist, ", "), rep.Flattened)
+		}
 	}
 }
 

@@ -1,0 +1,183 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/synth"
+)
+
+// famSynthModule generates a module dominated by one k-member clone
+// family and returns it with the names of k same-signature functions.
+func famSynthModule(seed int64, k int) (*Module, []string) {
+	m := synth.Generate(synth.Profile{
+		Name: "famapi", Seed: seed, Funcs: 10,
+		MinSize: 10, AvgSize: 50, MaxSize: 120,
+		CloneFrac: 0.8, FamilySize: k, MutRate: 0.06,
+		Loops: 0.6, Switches: 0.5,
+	})
+	defined := m.Defined()
+	for i, f := range defined {
+		fam := []string{f.Name()}
+		for j := i + 1; j < len(defined) && len(fam) < k; j++ {
+			if ir.TypesEqual(f.Sig().Ret, defined[j].Sig().Ret) {
+				fam = append(fam, defined[j].Name())
+			}
+		}
+		if len(fam) == k {
+			return m, fam
+		}
+	}
+	return m, nil
+}
+
+// TestMergeFamilyPublic: the facade's MergeFamily merges k originals
+// behind one function identifier, thunks all of them, and preserves
+// every member's observable behaviour.
+func TestMergeFamilyPublic(t *testing.T) {
+	for k := 2; k <= 4; k++ {
+		t.Run(fmt.Sprintf("k%d", k), func(t *testing.T) {
+			m, names := famSynthModule(int64(10+k), k)
+			if names == nil {
+				t.Fatal("no same-signature family generated")
+			}
+			orig := ir.CloneModule(m)
+			opt, err := New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged, stats, err := opt.MergeFamily(context.Background(), m, names...)
+			if err != nil {
+				t.Fatalf("MergeFamily: %v", err)
+			}
+			if stats.Matches == 0 {
+				t.Error("no matches reported")
+			}
+			if err := VerifyModule(m); err != nil {
+				t.Fatalf("module does not verify after MergeFamily: %v", err)
+			}
+			wantFid := ir.Type(ir.I32)
+			if k == 2 {
+				wantFid = ir.I1
+			}
+			if !ir.TypesEqual(merged.Param(0).Type(), wantFid) {
+				t.Errorf("fid type = %v, want %v", merged.Param(0).Type(), wantFid)
+			}
+			for _, name := range names {
+				of := orig.FuncByName(name)
+				nf := m.FuncByName(name)
+				for s := int64(1); s <= 6; s++ {
+					a := interp.Run(nil, of, interp.ArgsFor(of, s))
+					b := interp.Run(nil, nf, interp.ArgsFor(nf, s))
+					if same, why := interp.SameBehavior(a, b); !same {
+						t.Fatalf("@%s seed %d: %s", name, s, why)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMergeFamilyValidation: the facade rejects bad member lists and
+// the FMSA algorithm with clear errors.
+func TestMergeFamilyValidation(t *testing.T) {
+	m, names := famSynthModule(3, 3)
+	if names == nil {
+		t.Fatal("no family generated")
+	}
+	opt, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := opt.MergeFamily(context.Background(), m, names[0]); err == nil {
+		t.Error("expected error for a single name")
+	}
+	if _, _, err := opt.MergeFamily(context.Background(), m, names[0], names[0]); err == nil {
+		t.Error("expected error for a repeated name")
+	}
+	if _, _, err := opt.MergeFamily(context.Background(), m, names[0], "no.such.function"); err == nil {
+		t.Error("expected error for an unknown name")
+	}
+	fmsaOpt, err := New(WithAlgorithm(FMSA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fmsaOpt.MergeFamily(context.Background(), m, names...); err == nil {
+		t.Error("expected error for FMSA MergeFamily")
+	}
+}
+
+// TestWithMaxFamilyValidation: the option rejects bounds below two and
+// the default is four.
+func TestWithMaxFamilyValidation(t *testing.T) {
+	if _, err := New(WithMaxFamily(1)); err == nil {
+		t.Error("expected error for max family 1")
+	}
+	o, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.MaxFamily() != 4 {
+		t.Errorf("default MaxFamily = %d, want 4", o.MaxFamily())
+	}
+	o, err = New(WithMaxFamily(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.MaxFamily() != 2 {
+		t.Errorf("MaxFamily = %d, want 2", o.MaxFamily())
+	}
+}
+
+// TestSessionFlatteningPublic: through the public Session, repeated
+// optimizes of a chain-rich module flatten (Report.Families populated)
+// and behaviour is preserved end to end.
+func TestSessionFlatteningPublic(t *testing.T) {
+	m, _ := famSynthModule(7, 3)
+	orig := ir.CloneModule(m)
+	opt, err := New(WithThreshold(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := opt.Open(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	flattened := 0
+	var last *Report
+	for i := 0; i < 8; i++ {
+		res, err := s.Optimize(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		flattened += res.Flattened
+		last = res
+		if len(res.Merges) == 0 {
+			break
+		}
+	}
+	if err := VerifyModule(m); err != nil {
+		t.Fatalf("module does not verify: %v", err)
+	}
+	if last.Families > 0 && len(last.FamilySizes) == 0 {
+		t.Error("Families reported without FamilySizes")
+	}
+	for _, of := range orig.Defined() {
+		nf := m.FuncByName(of.Name())
+		if nf == nil {
+			t.Fatalf("@%s vanished", of.Name())
+		}
+		for s := int64(1); s <= 4; s++ {
+			a := interp.Run(nil, of, interp.ArgsFor(of, s))
+			b := interp.Run(nil, nf, interp.ArgsFor(nf, s))
+			if same, why := interp.SameBehavior(a, b); !same {
+				t.Fatalf("@%s seed %d: %s", of.Name(), s, why)
+			}
+		}
+	}
+	_ = flattened
+}

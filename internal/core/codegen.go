@@ -4,39 +4,41 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/align"
 	"repro/internal/ir"
 )
 
-// generator holds the state of one SalSSA merge. Indices 0 and 1 refer
-// to the first (fid=1) and second (fid=0) input function throughout.
+// generator holds the state of one SalSSA merge over a family of k
+// functions. Member index j refers to fns[j] throughout; for the
+// historical two-member case the function identifier is an i1 whose
+// true value selects member 0, beyond two it is the i32 member index.
 type generator struct {
 	m      *ir.Module
-	fns    [2]*ir.Function
+	fns    []*ir.Function
+	k      int
 	merged *ir.Function
 	fid    *ir.Argument
 	opts   Options
 	stats  Stats
 
 	// vmap maps original values (arguments, instructions, blocks) of
-	// each input function to their merged counterparts ("value mapping",
+	// each member to their merged counterparts ("value mapping",
 	// §4.1.2).
-	vmap [2]map[ir.Value]ir.Value
+	vmap []map[ir.Value]ir.Value
 	// itemBlock maps each original label/instruction to the merged block
-	// created for its alignment entry.
-	itemBlock [2]map[ir.Value]*ir.Block
-	// next chains merged blocks per input function: next[k][b] is the
-	// merged block holding the following item of the same original block.
-	next [2]map[*ir.Block]*ir.Block
+	// created for its alignment row.
+	itemBlock []map[ir.Value]*ir.Block
+	// next chains merged blocks per member: next[j][b] is the merged
+	// block holding the following item of the same original block.
+	next []map[*ir.Block]*ir.Block
 	// origin maps merged blocks back to the original block they came
-	// from, per function ("block mapping", §4.1.2).
-	origin [2]map[*ir.Block]*ir.Block
+	// from, per member ("block mapping", §4.1.2).
+	origin []map[*ir.Block]*ir.Block
 
-	// mergedFrom records, for each merged instruction, the original pair.
-	mergedFrom map[*ir.Instruction][2]*ir.Instruction
-	// clonedFrom records, for each copied instruction, its side and original.
-	clonedFrom map[*ir.Instruction]taggedInstr
-	// phiOrigin records, for each copied phi, its side and original.
+	// copies records, for each generated instruction, the original
+	// instruction of every member that aligned onto it, in member order:
+	// one tag for exclusive code, two or more for merged instructions.
+	copies map[*ir.Instruction][]taggedInstr
+	// phiOrigin records, for each copied phi, its member and original.
 	phiOrigin map[*ir.Instruction]taggedInstr
 	// padSlot maps original landingpad instructions with uses to the
 	// entry alloca through which their value flows (§4.2.2: landing
@@ -49,44 +51,90 @@ type generator struct {
 	// phis lists copied phis in creation order for deterministic
 	// incoming-value assignment.
 	phis []*ir.Instruction
-	// order lists merged instructions needing operand assignment.
+	// order lists generated instructions needing operand assignment.
 	order []*ir.Instruction
+	// diamonds memoizes, per instruction, the switch-fed-phi dispatch
+	// built for its first fid-varying operand (k >= 4 families), so
+	// further varying operands of the same instruction add one phi to
+	// the shared join instead of a second dispatch.
+	diamonds map[*ir.Instruction]*diamond
+	// fidEqs memoizes the per-member identifier tests (icmp eq fid, j),
+	// hoisted into the entry block: one comparison per member serves
+	// every select chain and two-way dispatch in the body, so a k-ary
+	// divergence costs the same selects as the nested pairwise chain it
+	// replaces.
+	fidEqs map[int]*ir.Instruction
 }
 
 type taggedInstr struct {
-	side int
-	orig *ir.Instruction
+	member int
+	orig   *ir.Instruction
 }
 
-func newGenerator(m *ir.Module, f1, f2 *ir.Function, name string, plan *ParamPlan, opts Options) *generator {
+// diamond is one switch-fed-phi dispatch: arms[t] is the arm block of
+// the instruction's t-th tag, join the block the phis and the
+// instruction itself live in.
+type diamond struct {
+	arms []*ir.Block
+	join *ir.Block
+}
+
+func newGenerator(m *ir.Module, fns []*ir.Function, name string, plan *ParamPlan, opts Options) *generator {
+	k := len(fns)
 	g := &generator{
-		m:          m,
-		fns:        [2]*ir.Function{f1, f2},
-		opts:       opts,
-		mergedFrom: map[*ir.Instruction][2]*ir.Instruction{},
-		clonedFrom: map[*ir.Instruction]taggedInstr{},
-		phiOrigin:  map[*ir.Instruction]taggedInstr{},
-		padSlot:    map[*ir.Instruction]*ir.Instruction{},
+		m:         m,
+		fns:       fns,
+		k:         k,
+		opts:      opts,
+		copies:    map[*ir.Instruction][]taggedInstr{},
+		phiOrigin: map[*ir.Instruction]taggedInstr{},
+		padSlot:   map[*ir.Instruction]*ir.Instruction{},
+		diamonds:  map[*ir.Instruction]*diamond{},
+		fidEqs:    map[int]*ir.Instruction{},
 	}
-	merged, fid, amap1, amap2 := NewMergedShell(m, name, f1, f2, plan)
+	merged, fid, amaps := NewMergedShell(m, name, fns, plan)
 	g.merged = merged
 	g.fid = fid
-	g.vmap[0] = amap1
-	g.vmap[1] = amap2
-	for k := 0; k < 2; k++ {
-		g.itemBlock[k] = map[ir.Value]*ir.Block{}
-		g.next[k] = map[*ir.Block]*ir.Block{}
-		g.origin[k] = map[*ir.Block]*ir.Block{}
+	g.vmap = amaps
+	g.itemBlock = make([]map[ir.Value]*ir.Block, k)
+	g.next = make([]map[*ir.Block]*ir.Block, k)
+	g.origin = make([]map[*ir.Block]*ir.Block, k)
+	for j := 0; j < k; j++ {
+		g.itemBlock[j] = map[ir.Value]*ir.Block{}
+		g.next[j] = map[*ir.Block]*ir.Block{}
+		g.origin[j] = map[*ir.Block]*ir.Block{}
 	}
 	return g
+}
+
+// fidBool reports whether the merged function dispatches on the
+// historical i1 identifier (two members) rather than an integer index.
+func (g *generator) fidBool() bool { return g.k == 2 }
+
+// fidIs returns the i1 value that is true when the identifier selects
+// member j: one icmp against the member index, hoisted into the entry
+// block (which dominates every use) and shared by all users.
+func (g *generator) fidIs(member int) ir.Value {
+	if c, ok := g.fidEqs[member]; ok {
+		return c
+	}
+	c := ir.NewICmp("fid.is", ir.PredEQ, g.fid, ir.NewConstInt(ir.I32, int64(member)))
+	entry := g.merged.Entry()
+	if t := entry.Term(); t != nil {
+		entry.InsertBefore(c, t)
+	} else {
+		entry.Append(c)
+	}
+	g.fidEqs[member] = c
+	return c
 }
 
 // run executes every phase of the SalSSA code generator, polling the
 // context between phases so a long merge can be abandoned mid-build. The
 // caller removes the partial function from the module on error.
-func (g *generator) run(ctx context.Context, res *align.Result) error {
+func (g *generator) run(ctx context.Context, items []famItem) error {
 	g.createPadSlots()
-	g.buildCFG(res)
+	g.buildCFG(items)
 	phases := []func(){
 		g.assignValueOperands,
 		g.assignLabelOperands,
@@ -106,8 +154,8 @@ func (g *generator) run(ctx context.Context, res *align.Result) error {
 // createPadSlots allocates one slot per original landingpad whose value
 // is used, before any operand resolution needs it.
 func (g *generator) createPadSlots() {
-	for k := 0; k < 2; k++ {
-		g.fns[k].Instrs(func(in *ir.Instruction) bool {
+	for j := 0; j < g.k; j++ {
+		g.fns[j].Instrs(func(in *ir.Instruction) bool {
 			if in.Op() == ir.OpLandingPad && ir.HasUses(in) {
 				slot := ir.NewAlloca("lpslot", in.Type())
 				g.padSlot[in] = slot
@@ -119,125 +167,176 @@ func (g *generator) createPadSlots() {
 	}
 }
 
-// buildCFG is §4.1: one merged block per aligned label or instruction,
-// phis attached to labels, chain branches reproducing each original
-// block's internal order.
-func (g *generator) buildCFG(res *align.Result) {
+// buildCFG is §4.1: one merged block per alignment row, phis attached
+// to labels, chain branches reproducing each original block's internal
+// order.
+func (g *generator) buildCFG(items []famItem) {
 	entry := g.merged.NewBlockIn("entry")
 	for _, slot := range g.padSlotList {
 		entry.Append(slot)
 	}
-	for _, p := range res.Pairs {
+	for _, row := range items {
+		first := row.firstMember()
+		e := row.ents[first]
 		switch {
-		case p.IsMatch() && p.A.IsLabel():
-			b := g.merged.NewBlockIn("m." + p.A.Label.Name())
-			g.placeLabel(0, p.A.Label, b)
-			g.placeLabel(1, p.B.Label, b)
-		case p.IsMatch():
+		case e.IsLabel() && row.memberCount() >= 2:
+			b := g.merged.NewBlockIn("m." + e.Label.Name())
+			for j, re := range row.ents {
+				if re != nil {
+					g.placeLabel(j, re.Label, b)
+				}
+			}
+		case e.IsLabel():
+			b := g.merged.NewBlockIn(fmt.Sprintf("f%d.%s", first+1, e.Label.Name()))
+			g.placeLabel(first, e.Label, b)
+		case row.memberCount() >= 2:
 			b := g.merged.NewBlockIn("mi")
-			mi := ir.CloneInstruction(p.A.Instr)
-			mi.SetName(p.A.Instr.Name())
+			mi := ir.CloneInstruction(e.Instr)
+			mi.SetName(e.Instr.Name())
 			b.Append(mi)
-			g.mergedFrom[mi] = [2]*ir.Instruction{p.A.Instr, p.B.Instr}
+			tags := make([]taggedInstr, 0, row.memberCount())
+			for j, re := range row.ents {
+				if re != nil {
+					tags = append(tags, taggedInstr{member: j, orig: re.Instr})
+					g.placeInstr(j, re.Instr, mi, b)
+				}
+			}
+			g.copies[mi] = tags
 			g.order = append(g.order, mi)
-			g.placeInstr(0, p.A.Instr, mi, b)
-			g.placeInstr(1, p.B.Instr, mi, b)
-		case p.A != nil && p.A.IsLabel():
-			b := g.merged.NewBlockIn("f1." + p.A.Label.Name())
-			g.placeLabel(0, p.A.Label, b)
-		case p.B != nil && p.B.IsLabel():
-			b := g.merged.NewBlockIn("f2." + p.B.Label.Name())
-			g.placeLabel(1, p.B.Label, b)
-		case p.A != nil:
-			b := g.merged.NewBlockIn("i1")
-			c := ir.CloneInstruction(p.A.Instr)
-			b.Append(c)
-			g.clonedFrom[c] = taggedInstr{side: 0, orig: p.A.Instr}
-			g.order = append(g.order, c)
-			g.placeInstr(0, p.A.Instr, c, b)
 		default:
-			b := g.merged.NewBlockIn("i2")
-			c := ir.CloneInstruction(p.B.Instr)
+			b := g.merged.NewBlockIn(fmt.Sprintf("i%d", first+1))
+			c := ir.CloneInstruction(e.Instr)
 			b.Append(c)
-			g.clonedFrom[c] = taggedInstr{side: 1, orig: p.B.Instr}
+			g.copies[c] = []taggedInstr{{member: first, orig: e.Instr}}
 			g.order = append(g.order, c)
-			g.placeInstr(1, p.B.Instr, c, b)
+			g.placeInstr(first, e.Instr, c, b)
 		}
 	}
 	// Chain the items of every original block in order.
-	for k := 0; k < 2; k++ {
-		for _, ob := range g.fns[k].Blocks {
-			prev := g.itemBlock[k][ob]
+	for j := 0; j < g.k; j++ {
+		for _, ob := range g.fns[j].Blocks {
+			prev := g.itemBlock[j][ob]
 			for _, in := range ob.Instrs() {
 				if in.Op() == ir.OpPhi || in.Op() == ir.OpLandingPad {
 					continue
 				}
-				cur := g.itemBlock[k][in]
-				g.next[k][prev] = cur
+				cur := g.itemBlock[j][in]
+				g.next[j][prev] = cur
 				prev = cur
 			}
 		}
 	}
 	// Insert chain branches into every block lacking a terminator:
-	// unconditional when both functions continue the same way, otherwise
-	// conditional on the function identifier.
+	// unconditional when every member continues the same way, otherwise
+	// a dispatch on the function identifier.
 	for _, b := range g.merged.Blocks {
 		if b == entry || b.Term() != nil {
 			continue
 		}
-		n1, n2 := g.next[0][b], g.next[1][b]
-		switch {
-		case n1 != nil && n2 != nil && n1 != n2:
-			b.Append(ir.NewCondBr(g.fid, n1, n2))
-		case n1 != nil:
-			b.Append(ir.NewBr(n1))
-		case n2 != nil:
-			b.Append(ir.NewBr(n2))
-		default:
-			panic(fmt.Sprintf("core: merged block %s has no continuation", b.Name()))
-		}
+		bb := b
+		g.appendDispatch(b, func(j int) *ir.Block { return g.next[j][bb] })
 	}
 	// Entry dispatch on the function identifier.
-	e1 := g.itemBlock[0][g.fns[0].Entry()]
-	e2 := g.itemBlock[1][g.fns[1].Entry()]
-	if e1 == e2 {
-		entry.Append(ir.NewBr(e1))
-	} else {
-		entry.Append(ir.NewCondBr(g.fid, e1, e2))
+	g.appendDispatch(entry, func(j int) *ir.Block {
+		return g.itemBlock[j][g.fns[j].Entry()]
+	})
+}
+
+// appendDispatch terminates b with a branch to each member's target
+// (nil when the member never reaches b): an unconditional branch when
+// every routed member agrees, the historical conditional branch on the
+// i1 identifier for two-member families, and a switch on the integer
+// identifier beyond — the Figure 10 dispatch generalized from a 2-way
+// conditional.
+func (g *generator) appendDispatch(b *ir.Block, target func(j int) *ir.Block) {
+	var first *ir.Block
+	same := true
+	for j := 0; j < g.k; j++ {
+		t := target(j)
+		if t == nil {
+			continue
+		}
+		if first == nil {
+			first = t
+		} else if t != first {
+			same = false
+		}
 	}
+	if first == nil {
+		panic(fmt.Sprintf("core: merged block %s has no continuation", b.Name()))
+	}
+	if same {
+		b.Append(ir.NewBr(first))
+		return
+	}
+	if g.fidBool() {
+		b.Append(ir.NewCondBr(g.fid, target(0), target(1)))
+		return
+	}
+	var members []int
+	var targets []*ir.Block
+	for j := 0; j < g.k; j++ {
+		if t := target(j); t != nil {
+			members = append(members, j)
+			targets = append(targets, t)
+		}
+	}
+	b.Append(g.fidDispatch(members, targets))
+}
+
+// fidDispatch builds the terminator routing each member (members[t] to
+// targets[t]) by identifier: a conditional branch on the shared
+// fid == j test when a lone member dissents from an otherwise common
+// target — as cheap as the pairwise dispatch — and a switch on the
+// identifier otherwise, with members sharing the default target folded
+// into it. The chain/entry dispatch, the label-selection blocks and
+// the switch-fed-phi diamonds all route through here, so the dispatch
+// shape (what costmodel.SwitchBytes prices) has a single definition.
+func (g *generator) fidDispatch(members []int, targets []*ir.Block) *ir.Instruction {
+	if lone, other, ok := loneDissent(targets, func(a, b *ir.Block) bool { return a == b }); ok {
+		return ir.NewCondBr(g.fidIs(members[lone]), targets[lone], targets[other])
+	}
+	var cases []ir.SwitchCase
+	for t := 1; t < len(members); t++ {
+		if targets[t] == targets[0] {
+			continue // the default target falls through
+		}
+		cases = append(cases, ir.SwitchCase{Val: ir.NewConstInt(ir.I32, int64(members[t])), Dest: targets[t]})
+	}
+	return ir.NewSwitch(g.fid, targets[0], cases...)
 }
 
 // placeLabel registers the merged block for an original label and copies
 // the label's phis into it (phis travel with their labels, §4.1.1).
-func (g *generator) placeLabel(k int, ob *ir.Block, b *ir.Block) {
-	g.itemBlock[k][ob] = b
-	g.vmap[k][ob] = b
-	g.origin[k][b] = ob
+func (g *generator) placeLabel(j int, ob *ir.Block, b *ir.Block) {
+	g.itemBlock[j][ob] = b
+	g.vmap[j][ob] = b
+	g.origin[j][b] = ob
 	for _, phi := range ob.Phis() {
 		np := ir.NewPhi(phi.Name(), phi.Type())
 		b.Append(np)
-		g.vmap[k][phi] = np
-		g.phiOrigin[np] = taggedInstr{side: k, orig: phi}
+		g.vmap[j][phi] = np
+		g.phiOrigin[np] = taggedInstr{member: j, orig: phi}
 		g.phis = append(g.phis, np)
 	}
 }
 
 // placeInstr registers the merged block and value for an original
 // instruction.
-func (g *generator) placeInstr(k int, orig, merged *ir.Instruction, b *ir.Block) {
-	g.itemBlock[k][orig] = b
-	g.vmap[k][orig] = merged
-	g.origin[k][b] = orig.Parent()
+func (g *generator) placeInstr(j int, orig, merged *ir.Instruction, b *ir.Block) {
+	g.itemBlock[j][orig] = b
+	g.vmap[j][orig] = merged
+	g.origin[j][b] = orig.Parent()
 }
 
-// resolve maps an original operand of side k to its merged value,
+// resolve maps an original operand of member j to its merged value,
 // inserting a slot load before user when the operand is a landingpad
 // value (whose merged definitions live in the per-invoke landing
 // blocks).
-func (g *generator) resolve(k int, v ir.Value, user *ir.Instruction) ir.Value {
+func (g *generator) resolve(j int, v ir.Value, user *ir.Instruction) ir.Value {
 	switch v := v.(type) {
 	case *ir.Instruction:
-		if mv, ok := g.vmap[k][v]; ok {
+		if mv, ok := g.vmap[j][v]; ok {
 			return mv
 		}
 		if v.Op() == ir.OpLandingPad {
@@ -245,9 +344,9 @@ func (g *generator) resolve(k int, v ir.Value, user *ir.Instruction) ir.Value {
 				user.Parent().InsertBefore(ld, user)
 			})
 		}
-		panic(fmt.Sprintf("core: unmapped %v operand from f%d", v.Op(), k+1))
+		panic(fmt.Sprintf("core: unmapped %v operand from f%d", v.Op(), j+1))
 	case *ir.Argument:
-		mv, ok := g.vmap[k][v]
+		mv, ok := g.vmap[j][v]
 		if !ok {
 			panic(fmt.Sprintf("core: unmapped argument %%%s", v.Name()))
 		}
@@ -269,56 +368,196 @@ func (g *generator) padLoad(pad *ir.Instruction, insert func(*ir.Instruction)) i
 	return ld
 }
 
-// assignValueOperands is the non-label half of §4.2: cloned instructions
+// assignValueOperands is the non-label half of §4.2: exclusive copies
 // get their operands remapped through the value mapping; merged
-// instructions take the common value where the two sides agree and a
-// select on the function identifier where they differ, after trying
-// commutative operand reordering (Figure 9).
+// instructions take the common value where every member agrees and a
+// fid-indexed resolution where they differ — the historical select for
+// two members, a select chain of identifier tests for three, a
+// switch-fed phi beyond — after trying commutative operand reordering
+// (Figure 9).
 func (g *generator) assignValueOperands() {
 	for _, in := range g.order {
-		if tagged, ok := g.clonedFrom[in]; ok {
+		tags := g.copies[in]
+		if len(tags) == 1 {
 			for i := 0; i < in.NumOperands(); i++ {
 				if _, isLabel := in.Operand(i).(*ir.Block); isLabel {
 					continue
 				}
-				in.SetOperand(i, g.resolve(tagged.side, in.Operand(i), in))
+				in.SetOperand(i, g.resolve(tags[0].member, in.Operand(i), in))
 			}
 			continue
 		}
-		pair := g.mergedFrom[in]
-		i1, i2 := pair[0], pair[1]
 		n := in.NumOperands()
-		v1 := make([]ir.Value, n)
-		v2 := make([]ir.Value, n)
-		for i := 0; i < n; i++ {
-			if _, isLabel := i1.Operand(i).(*ir.Block); isLabel {
-				continue
-			}
-			v1[i] = g.resolve(0, i1.Operand(i), in)
-			v2[i] = g.resolve(1, i2.Operand(i), in)
-		}
-		if g.opts.ReorderOperands && canReorder(in) && v1[0] != nil && v1[1] != nil {
-			straight := btoi(ir.ValuesEqual(v1[0], v2[0])) + btoi(ir.ValuesEqual(v1[1], v2[1]))
-			swapped := btoi(ir.ValuesEqual(v1[0], v2[1])) + btoi(ir.ValuesEqual(v1[1], v2[0]))
-			if swapped > straight {
-				v2[0], v2[1] = v2[1], v2[0]
-				g.stats.OperandSwaps++
+		vals := make([][]ir.Value, len(tags))
+		for t, tag := range tags {
+			vals[t] = make([]ir.Value, n)
+			for i := 0; i < n; i++ {
+				if _, isLabel := tag.orig.Operand(i).(*ir.Block); isLabel {
+					continue
+				}
+				vals[t][i] = g.resolve(tag.member, tag.orig.Operand(i), in)
 			}
 		}
+		if g.opts.ReorderOperands && canReorder(in) && vals[0][0] != nil && vals[0][1] != nil {
+			// Each later member reorders against member 0's operands
+			// (Figure 9, applied per member).
+			for t := 1; t < len(tags); t++ {
+				straight := btoi(ir.ValuesEqual(vals[0][0], vals[t][0])) + btoi(ir.ValuesEqual(vals[0][1], vals[t][1]))
+				swapped := btoi(ir.ValuesEqual(vals[0][0], vals[t][1])) + btoi(ir.ValuesEqual(vals[0][1], vals[t][0]))
+				if swapped > straight {
+					vals[t][0], vals[t][1] = vals[t][1], vals[t][0]
+					g.stats.OperandSwaps++
+				}
+			}
+		}
 		for i := 0; i < n; i++ {
-			if v1[i] == nil {
+			if vals[0][i] == nil {
 				continue // label operand
 			}
-			if ir.ValuesEqual(v1[i], v2[i]) {
-				in.SetOperand(i, v1[i])
+			same := true
+			for t := 1; t < len(tags); t++ {
+				if !ir.ValuesEqual(vals[0][i], vals[t][i]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				in.SetOperand(i, vals[0][i])
 				continue
 			}
-			sel := ir.NewSelect("sel", g.fid, v1[i], v2[i])
-			in.Parent().InsertBefore(sel, in)
-			in.SetOperand(i, sel)
-			g.stats.Selects++
+			column := make([]ir.Value, len(tags))
+			for t := range tags {
+				column[t] = vals[t][i]
+			}
+			in.SetOperand(i, g.selectValue(in, tags, column))
 		}
 	}
+}
+
+// selectValue builds the fid-indexed resolution of one operand whose
+// merged values differ across members and returns the selected value.
+func (g *generator) selectValue(in *ir.Instruction, tags []taggedInstr, vs []ir.Value) ir.Value {
+	if g.fidBool() {
+		sel := ir.NewSelect("sel", g.fid, vs[0], vs[1])
+		in.Parent().InsertBefore(sel, in)
+		g.stats.Selects++
+		return sel
+	}
+	// Two distinct values with one of them exclusive to a single member
+	// collapse to one select on the (entry-hoisted, shared) identifier
+	// test — the same per-divergence cost as a pairwise merge.
+	if t, other, ok := loneDissent(vs, ir.ValuesEqual); ok {
+		sel := ir.NewSelect("sel", g.fidIs(tags[t].member), vs[t], vs[other])
+		in.Parent().InsertBefore(sel, in)
+		g.stats.Selects++
+		return sel
+	}
+	if len(tags) <= 3 {
+		// Select chain: test the identifier against each member but the
+		// last, which is the fall-through arm.
+		acc := vs[len(vs)-1]
+		for t := len(vs) - 2; t >= 0; t-- {
+			sel := ir.NewSelect("sel", g.fidIs(tags[t].member), vs[t], acc)
+			in.Parent().InsertBefore(sel, in)
+			acc = sel
+			g.stats.Selects++
+		}
+		return acc
+	}
+	// Switch-fed phi: one dispatch diamond per instruction, one phi per
+	// varying operand.
+	d := g.diamondFor(in, tags)
+	phi := ir.NewPhi("osel", vs[0].Type())
+	d.join.InsertAtFront(phi)
+	for t, arm := range d.arms {
+		phi.AddIncoming(vs[t], arm)
+	}
+	g.stats.SwitchPhis++
+	return phi
+}
+
+// loneDissent reports whether the values split into exactly two
+// equivalence groups, one of which holds a single element: it returns
+// that element's index and a representative index of the majority
+// group. The k-ary resolutions use it to fall back to one select or
+// conditional branch instead of a chain or switch.
+func loneDissent[V any](vs []V, eq func(a, b V) bool) (lone, other int, ok bool) {
+	rep := [2]int{-1, -1}
+	count := [2]int{}
+	groups := 0
+	for i, v := range vs {
+		gi := -1
+		for gid := 0; gid < groups; gid++ {
+			if eq(vs[rep[gid]], v) {
+				gi = gid
+				break
+			}
+		}
+		if gi < 0 {
+			if groups == 2 {
+				return 0, 0, false
+			}
+			gi = groups
+			rep[gi] = i
+			groups++
+		}
+		count[gi]++
+	}
+	if groups != 2 {
+		return 0, 0, false
+	}
+	switch {
+	case count[0] == 1:
+		return rep[0], rep[1], true
+	case count[1] == 1:
+		return rep[1], rep[0], true
+	default:
+		return 0, 0, false
+	}
+}
+
+// diamondFor splits in's block into a switch-on-fid dispatch over one
+// arm per member tag, rejoining at a block holding in and everything
+// after it. The diamond is built once per instruction and shared by all
+// of its fid-varying operands.
+func (g *generator) diamondFor(in *ir.Instruction, tags []taggedInstr) *diamond {
+	if d, ok := g.diamonds[in]; ok {
+		return d
+	}
+	b := in.Parent()
+	join := g.merged.NewBlockIn(b.Name() + ".phi")
+	// Move in and every following instruction (including the chain
+	// terminator) into the join block.
+	var moved []*ir.Instruction
+	seen := false
+	for _, x := range b.Instrs() {
+		if x == in {
+			seen = true
+		}
+		if seen {
+			moved = append(moved, x)
+		}
+	}
+	for _, x := range moved {
+		b.Remove(x)
+	}
+	for _, x := range moved {
+		join.Append(x)
+	}
+	arms := make([]*ir.Block, len(tags))
+	members := make([]int, len(tags))
+	for t, tag := range tags {
+		arm := g.merged.NewBlockIn("osel")
+		arm.Append(ir.NewBr(join))
+		g.inheritOrigin(arm, b)
+		arms[t] = arm
+		members[t] = tag.member
+	}
+	b.Append(g.fidDispatch(members, arms))
+	g.inheritOrigin(join, b)
+	d := &diamond{arms: arms, join: join}
+	g.diamonds[in] = d
+	return d
 }
 
 // canReorder reports whether in's first two operands may be swapped:
@@ -340,49 +579,70 @@ func btoi(b bool) int {
 	return 0
 }
 
-// assignLabelOperands is §4.2.1: label operands of cloned terminators
-// are remapped directly; merged terminators whose mapped labels differ
-// get a label-selection block (Figure 10), except conditional branches
-// with swapped labels, which use the xor rewrite (Figure 11).
+// assignLabelOperands is §4.2.1: label operands of exclusive
+// terminators are remapped directly; merged terminators whose mapped
+// labels differ get a label-selection block — Figure 10's conditional
+// for two-member families, a switch on the identifier beyond — except
+// two-member conditional branches with swapped labels, which use the
+// xor rewrite (Figure 11).
 func (g *generator) assignLabelOperands() {
 	for _, in := range g.order {
 		if !in.IsTerminator() {
 			continue
 		}
-		if tagged, ok := g.clonedFrom[in]; ok {
+		tags := g.copies[in]
+		if len(tags) == 1 {
 			for _, i := range in.LabelOperandIndices() {
-				in.SetOperand(i, g.mapLabel(tagged.side, in.Operand(i).(*ir.Block)))
+				in.SetOperand(i, g.mapLabel(tags[0].member, in.Operand(i).(*ir.Block)))
 			}
 			continue
 		}
-		pair := g.mergedFrom[in]
 		idxs := in.LabelOperandIndices()
-		l1 := make(map[int]*ir.Block, len(idxs))
-		l2 := make(map[int]*ir.Block, len(idxs))
-		for _, i := range idxs {
-			l1[i] = g.mapLabel(0, pair[0].Operand(i).(*ir.Block))
-			l2[i] = g.mapLabel(1, pair[1].Operand(i).(*ir.Block))
+		ls := make([]map[int]*ir.Block, len(tags))
+		for t, tag := range tags {
+			ls[t] = make(map[int]*ir.Block, len(idxs))
+			for _, i := range idxs {
+				ls[t][i] = g.mapLabel(tag.member, tag.orig.Operand(i).(*ir.Block))
+			}
 		}
 		// Figure 11: br c, A, B merged with br c, B, A becomes
 		// br (xor c, fid), B, A — correct for both functions and cheaper
-		// than two label selections.
-		if g.opts.XorBranch && in.IsCondBr() &&
-			l1[1] == l2[2] && l1[2] == l2[1] && l1[1] != l1[2] {
+		// than two label selections. Two-member families only: the
+		// rewrite is an i1 identity.
+		if g.fidBool() && g.opts.XorBranch && in.IsCondBr() &&
+			ls[0][1] == ls[1][2] && ls[0][2] == ls[1][1] && ls[0][1] != ls[0][2] {
 			x := ir.NewBinary(ir.OpXor, "xsel", in.Operand(0), g.fid)
 			in.Parent().InsertBefore(x, in)
 			in.SetOperand(0, x)
-			in.SetOperand(1, l2[1])
-			in.SetOperand(2, l2[2])
+			in.SetOperand(1, ls[1][1])
+			in.SetOperand(2, ls[1][2])
 			g.stats.XorRewrites++
 			continue
 		}
 		for _, i := range idxs {
-			if l1[i] == l2[i] {
-				in.SetOperand(i, l1[i])
+			same := true
+			for t := 1; t < len(tags); t++ {
+				if ls[t][i] != ls[0][i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				in.SetOperand(i, ls[0][i])
 				continue
 			}
 			sel := g.merged.NewBlockIn("lsel")
-			sel.Append(ir.NewCondBr(g.fid, l1[i], l2[i]))
+			if g.fidBool() {
+				sel.Append(ir.NewCondBr(g.fid, ls[0][i], ls[1][i]))
+			} else {
+				members := make([]int, len(tags))
+				targets := make([]*ir.Block, len(tags))
+				for t := range tags {
+					members[t] = tags[t].member
+					targets[t] = ls[t][i]
+				}
+				sel.Append(g.fidDispatch(members, targets))
+			}
 			g.inheritOrigin(sel, in.Parent())
 			in.SetOperand(i, sel)
 			g.stats.LabelSelections++
@@ -390,8 +650,8 @@ func (g *generator) assignLabelOperands() {
 	}
 }
 
-func (g *generator) mapLabel(k int, ob *ir.Block) *ir.Block {
-	b, ok := g.vmap[k][ob]
+func (g *generator) mapLabel(j int, ob *ir.Block) *ir.Block {
+	b, ok := g.vmap[j][ob]
 	if !ok {
 		panic(fmt.Sprintf("core: unmapped label %%%s", ob.Name()))
 	}
@@ -399,19 +659,20 @@ func (g *generator) mapLabel(k int, ob *ir.Block) *ir.Block {
 }
 
 // inheritOrigin copies the block mapping of src onto b (used for
-// label-selection and landing blocks, which sit on an edge out of src
-// and represent the same original blocks for phi-incoming purposes).
+// label-selection, dispatch and landing blocks, which sit on an edge
+// out of src and represent the same original blocks for phi-incoming
+// purposes).
 func (g *generator) inheritOrigin(b, src *ir.Block) {
-	for k := 0; k < 2; k++ {
-		if ob := g.origin[k][src]; ob != nil {
-			g.origin[k][b] = ob
+	for j := 0; j < g.k; j++ {
+		if ob := g.origin[j][src]; ob != nil {
+			g.origin[j][b] = ob
 		}
 	}
 }
 
 // createLandingBlocks is §4.2.2: every invoke in the merged function
 // gets a fresh landing block holding a new landingpad (stored to the
-// original landingpad's slot) that branches to the remapped unwind
+// original landingpads' slots) that branches to the remapped unwind
 // destination.
 func (g *generator) createLandingBlocks() {
 	for _, in := range g.order {
@@ -423,11 +684,8 @@ func (g *generator) createLandingBlocks() {
 		g.inheritOrigin(pad, in.Parent())
 		cleanup := false
 		var origPads []*ir.Instruction
-		if tagged, ok := g.clonedFrom[in]; ok {
-			origPads = append(origPads, origLandingPad(tagged.orig))
-		} else {
-			pair := g.mergedFrom[in]
-			origPads = append(origPads, origLandingPad(pair[0]), origLandingPad(pair[1]))
+		for _, tag := range g.copies[in] {
+			origPads = append(origPads, origLandingPad(tag.orig))
 		}
 		for _, op := range origPads {
 			cleanup = cleanup || op.Cleanup
@@ -457,16 +715,16 @@ func origLandingPad(inv *ir.Instruction) *ir.Instruction {
 // assignPhiIncomings is §4.2.3: each copied phi receives, for every
 // predecessor of its merged block, the incoming value of the original
 // predecessor found through the block mapping, or undef when the
-// predecessor belongs only to the other function.
+// predecessor belongs only to other members.
 func (g *generator) assignPhiIncomings() {
 	for _, np := range g.phis {
 		tag := g.phiOrigin[np]
 		orig := tag.orig
 		for _, q := range np.Parent().Preds() {
 			var mv ir.Value
-			if c := g.origin[tag.side][q]; c != nil {
+			if c := g.origin[tag.member][q]; c != nil {
 				if v, ok := orig.IncomingFor(c); ok {
-					mv = g.resolveAtBlockEnd(tag.side, v, q)
+					mv = g.resolveAtBlockEnd(tag.member, v, q)
 				}
 			}
 			if mv == nil {
@@ -480,13 +738,13 @@ func (g *generator) assignPhiIncomings() {
 // resolveAtBlockEnd resolves v like resolve, but inserts any needed slot
 // load at the end of block q (phi uses happen at the end of the incoming
 // block).
-func (g *generator) resolveAtBlockEnd(k int, v ir.Value, q *ir.Block) ir.Value {
+func (g *generator) resolveAtBlockEnd(j int, v ir.Value, q *ir.Block) ir.Value {
 	if in, ok := v.(*ir.Instruction); ok {
-		if _, mapped := g.vmap[k][in]; !mapped && in.Op() == ir.OpLandingPad {
+		if _, mapped := g.vmap[j][in]; !mapped && in.Op() == ir.OpLandingPad {
 			return g.padLoad(in, func(ld *ir.Instruction) {
 				q.InsertBefore(ld, q.Term())
 			})
 		}
 	}
-	return g.resolve(k, v, nil)
+	return g.resolve(j, v, nil)
 }

@@ -17,7 +17,8 @@ type Options struct {
 	PhiCoalescing bool
 	// XorBranch enables the Figure 11 rewrite of conditional branches
 	// with swapped label operands (two label selections traded for one
-	// xor).
+	// xor). It applies to two-member families only — the rewrite is
+	// specific to the i1 identifier.
 	XorBranch bool
 	// ReorderOperands enables commutative operand reordering (Figure 9).
 	ReorderOperands bool
@@ -38,13 +39,18 @@ func DefaultOptions() Options {
 // Stats reports what the code generator did; the evaluation harness and
 // the ablation benchmarks consume these.
 type Stats struct {
-	// Alignment outcome.
+	// Alignment outcome. For families beyond two members the counts
+	// accumulate over the progressive alignment rounds and MatrixBytes
+	// sums the per-round DP matrices.
 	Matches      int
 	InstrMatches int
 	MatrixBytes  int64
-	// Operand assignment.
+	// Operand assignment. Selects counts fid-selects (including the
+	// entries of k=3 select chains); SwitchPhis counts operands resolved
+	// through a switch-fed phi (k >= 4 families).
 	Selects         int
 	LabelSelections int
+	SwitchPhis      int
 	XorRewrites     int
 	OperandSwaps    int
 	// SSA repair.
@@ -92,15 +98,61 @@ func MergeWithPlanCtx(ctx context.Context, m *ir.Module, f1, f2 *ir.Function, na
 	return mergeAligned(ctx, m, f1, f2, name, res, plan, opts)
 }
 
-// checkPair rejects pairs no generator path accepts.
-func checkPair(f1, f2 *ir.Function) error {
-	if f1 == f2 {
-		return fmt.Errorf("core: cannot merge a function with itself")
+// MergeFamily builds one merged function serving every member of fns
+// behind a function identifier: the k-ary generalization of Merge. The
+// two-member case is exactly Merge (i1 identifier, identical output);
+// beyond two the members are aligned progressively and dispatched on an
+// integer identifier. fns are left untouched.
+func MergeFamily(m *ir.Module, fns []*ir.Function, name string, opts Options) (*ir.Function, *Stats, error) {
+	return MergeFamilyCtx(context.Background(), m, fns, name, opts)
+}
+
+// MergeFamilyCtx is MergeFamily with cancellation, polled inside every
+// alignment round and between code-generation phases.
+func MergeFamilyCtx(ctx context.Context, m *ir.Module, fns []*ir.Function, name string, opts Options) (*ir.Function, *Stats, error) {
+	plan, err := PlanParams(fns...)
+	if err != nil {
+		return nil, nil, err
 	}
-	if f1.IsDecl() || f2.IsDecl() {
-		return fmt.Errorf("core: cannot merge declarations")
+	return MergeFamilyWithPlanCtx(ctx, m, fns, name, plan, opts)
+}
+
+// MergeFamilyWithPlanCtx is MergeFamilyCtx for callers that already
+// hold the family's ParamPlan (the driver plans it for thunk
+// construction anyway).
+func MergeFamilyWithPlanCtx(ctx context.Context, m *ir.Module, fns []*ir.Function, name string, plan *ParamPlan, opts Options) (*ir.Function, *Stats, error) {
+	if err := checkFamily(fns); err != nil {
+		return nil, nil, err
+	}
+	var stats Stats
+	items, err := alignFamilyCtx(ctx, fns, opts, &stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mergeItems(ctx, m, fns, name, items, plan, opts, stats)
+}
+
+// checkFamily rejects families no generator path accepts.
+func checkFamily(fns []*ir.Function) error {
+	if len(fns) < 2 {
+		return fmt.Errorf("core: a merge family needs at least two functions")
+	}
+	for i, f := range fns {
+		if f.IsDecl() {
+			return fmt.Errorf("core: cannot merge declarations")
+		}
+		for j := i + 1; j < len(fns); j++ {
+			if f == fns[j] {
+				return fmt.Errorf("core: cannot merge a function with itself")
+			}
+		}
 	}
 	return nil
+}
+
+// checkPair rejects pairs no generator path accepts.
+func checkPair(f1, f2 *ir.Function) error {
+	return checkFamily([]*ir.Function{f1, f2})
 }
 
 // MergeAligned is Merge with a precomputed alignment (used by the
@@ -113,8 +165,8 @@ func MergeAligned(m *ir.Module, f1, f2 *ir.Function, name string, res *align.Res
 // generator's phases; on cancellation the partial merged function is
 // removed from m.
 func MergeAlignedCtx(ctx context.Context, m *ir.Module, f1, f2 *ir.Function, name string, res *align.Result, opts Options) (*ir.Function, *Stats, error) {
-	if f1 == f2 {
-		return nil, nil, fmt.Errorf("core: cannot merge a function with itself")
+	if err := checkPair(f1, f2); err != nil {
+		return nil, nil, err
 	}
 	plan, err := PlanParams(f1, f2)
 	if err != nil {
@@ -123,18 +175,33 @@ func MergeAlignedCtx(ctx context.Context, m *ir.Module, f1, f2 *ir.Function, nam
 	return mergeAligned(ctx, m, f1, f2, name, res, plan, opts)
 }
 
-// mergeAligned runs the code generator over a precomputed alignment and
-// parameter plan.
+// mergeAligned runs the code generator over a precomputed pairwise
+// alignment and parameter plan.
 func mergeAligned(ctx context.Context, m *ir.Module, f1, f2 *ir.Function, name string, res *align.Result, plan *ParamPlan, opts Options) (*ir.Function, *Stats, error) {
-	g := newGenerator(m, f1, f2, name, plan, opts)
-	g.stats.Matches = res.Matches
-	g.stats.InstrMatches = res.InstrMatches
-	g.stats.MatrixBytes = res.MatrixBytes
-	if err := g.run(ctx, res); err != nil {
+	items := make([]famItem, len(res.Pairs))
+	for i, p := range res.Pairs {
+		items[i] = famItem{ents: []*align.Entry{p.A, p.B}}
+	}
+	stats := Stats{
+		Matches:      res.Matches,
+		InstrMatches: res.InstrMatches,
+		MatrixBytes:  res.MatrixBytes,
+	}
+	return mergeItems(ctx, m, []*ir.Function{f1, f2}, name, items, plan, opts, stats)
+}
+
+// mergeItems runs the code generator over an item list (one row per
+// aligned label/instruction across the family).
+func mergeItems(ctx context.Context, m *ir.Module, fns []*ir.Function, name string, items []famItem, plan *ParamPlan, opts Options, stats Stats) (*ir.Function, *Stats, error) {
+	g := newGenerator(m, fns, name, plan, opts)
+	g.stats.Matches = stats.Matches
+	g.stats.InstrMatches = stats.InstrMatches
+	g.stats.MatrixBytes = stats.MatrixBytes
+	if err := g.run(ctx, items); err != nil {
 		// The partial function's instructions may still hold operands
-		// from f1/f2 (operand assignment rewires them phase by phase), so
-		// drop its operand uses before detaching — plain RemoveFunc would
-		// leave dangling Use records on the originals.
+		// from the originals (operand assignment rewires them phase by
+		// phase), so drop its operand uses before detaching — plain
+		// RemoveFunc would leave dangling Use records on the originals.
 		g.merged.Clear()
 		m.RemoveFunc(g.merged)
 		return nil, nil, err

@@ -147,11 +147,11 @@ e:
 	if len(plan.Params) != 3 {
 		t.Fatalf("unified %d params, want 3 (%v)", len(plan.Params), plan.Params)
 	}
-	if plan.Map1[0] != 0 || plan.Map1[1] != 1 || plan.Map1[2] != 2 {
-		t.Errorf("Map1 = %v", plan.Map1)
+	if plan.Maps[0][0] != 0 || plan.Maps[0][1] != 1 || plan.Maps[0][2] != 2 {
+		t.Errorf("Maps[0] = %v", plan.Maps[0])
 	}
-	if plan.Map2[0] != 1 || plan.Map2[1] != 0 {
-		t.Errorf("Map2 = %v", plan.Map2)
+	if plan.Maps[1][0] != 1 || plan.Maps[1][1] != 0 {
+		t.Errorf("Maps[1] = %v", plan.Maps[1])
 	}
 }
 

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/align"
+	"repro/internal/ir"
+)
+
+// famItem is one row of a k-way alignment: for each member, the aligned
+// entry of that member's linearization (nil when the member takes a gap
+// at this row). An item with one non-nil entry is exclusive code; with
+// two or more, the entries are mutually mergeable (equal interned
+// class) and generate one merged label/instruction.
+type famItem struct {
+	ents []*align.Entry
+}
+
+// firstMember returns the lowest member index with an entry.
+func (it famItem) firstMember() int {
+	for j, e := range it.ents {
+		if e != nil {
+			return j
+		}
+	}
+	panic("core: empty alignment item")
+}
+
+// memberCount returns how many members align at this row.
+func (it famItem) memberCount() int {
+	n := 0
+	for _, e := range it.ents {
+		if e != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// alignFamilyCtx builds the k-way item list by progressive pairwise
+// alignment: member 0 seeds the skeleton, and each later member is
+// aligned against the current skeleton's linearization (representative
+// entries carrying the rows' interned classes), so the pairwise solver
+// is reused unchanged — no k-dimensional DP. Matched rows gain the new
+// member's entry; the member's unmatched entries become new exclusive
+// rows, interleaved in alignment order. For two members this is exactly
+// one pairwise alignment. Alignment stats (matches, matrix bytes)
+// accumulate over the rounds into stats.
+func alignFamilyCtx(ctx context.Context, fns []*ir.Function, opts Options, stats *Stats) ([]famItem, error) {
+	k := len(fns)
+	it := align.NewInterner()
+	seqs := make([]align.Seq, k)
+	for j, f := range fns {
+		seqs[j] = align.NewSeq(f, it)
+	}
+	items := make([]famItem, len(seqs[0].Entries))
+	classes := make([]int32, len(seqs[0].Entries))
+	for i := range seqs[0].Entries {
+		ents := make([]*align.Entry, k)
+		ents[0] = &seqs[0].Entries[i]
+		items[i] = famItem{ents: ents}
+		classes[i] = seqs[0].Classes[i]
+	}
+	for j := 1; j < k; j++ {
+		skel := align.Seq{Entries: make([]align.Entry, len(items)), Classes: classes}
+		for i, row := range items {
+			skel.Entries[i] = *row.ents[row.firstMember()]
+		}
+		res, err := align.AlignSeqsCtx(ctx, skel, seqs[j], opts.Align)
+		if err != nil {
+			return nil, err
+		}
+		stats.Matches += res.Matches
+		stats.InstrMatches += res.InstrMatches
+		stats.MatrixBytes += res.MatrixBytes
+		newItems := make([]famItem, 0, len(res.Pairs))
+		newClasses := make([]int32, 0, len(res.Pairs))
+		si, mj := 0, 0
+		for _, p := range res.Pairs {
+			switch {
+			case p.IsMatch():
+				row := items[si]
+				row.ents[j] = &seqs[j].Entries[mj]
+				newItems = append(newItems, row)
+				newClasses = append(newClasses, classes[si])
+				si++
+				mj++
+			case p.A != nil:
+				newItems = append(newItems, items[si])
+				newClasses = append(newClasses, classes[si])
+				si++
+			default:
+				ents := make([]*align.Entry, k)
+				ents[j] = &seqs[j].Entries[mj]
+				newItems = append(newItems, famItem{ents: ents})
+				newClasses = append(newClasses, seqs[j].Classes[mj])
+				mj++
+			}
+		}
+		items, classes = newItems, newClasses
+	}
+	return items, nil
+}

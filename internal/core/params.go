@@ -1,11 +1,16 @@
-// Package core implements SalSSA, the paper's contribution: merging two
-// functions through sequence alignment with full SSA support. The code
-// generator works top-down from the input CFGs (one merged block per
-// aligned label/instruction, chained per original block), assigns
-// operands with fid-selects, label-selection blocks and the xor-branch
-// rewrite, creates landing blocks for invokes, repairs the dominance
-// property with the standard SSA construction algorithm, and applies
-// phi-node coalescing to minimise the phis and selects introduced.
+// Package core implements SalSSA, the paper's contribution: merging
+// functions through sequence alignment with full SSA support —
+// generalized from the paper's pairwise setting to k-ary merge families
+// (one merged body serving k originals behind a function identifier).
+// The code generator works top-down from the input CFGs (one merged
+// block per aligned label/instruction, chained per original block),
+// assigns operands with fid-indexed resolution (selects for two-member
+// families, select chains and switch-fed phis beyond), generalizes
+// label selection from the paper's Figure 10 conditional to a switch on
+// the identifier, creates landing blocks for invokes, repairs the
+// dominance property with the standard SSA construction algorithm, and
+// applies phi-node coalescing to minimise the phis and selects
+// introduced.
 package core
 
 import (
@@ -14,90 +19,113 @@ import (
 	"repro/internal/ir"
 )
 
-// ParamPlan describes how the parameter lists of two functions are
-// unified. Parameters of equal type are shared pairwise (greedy, in
-// order); leftovers get their own slots. The merged function takes the
-// i1 function identifier first, then the unified parameters.
+// ParamPlan describes how the parameter lists of a merge family are
+// unified. Parameters of equal type are shared across members (greedy,
+// in order); leftovers get their own slots. The merged function takes
+// the function identifier first, then the unified parameters.
 type ParamPlan struct {
 	// Ret is the shared return type.
 	Ret ir.Type
 	// Params are the unified parameter types, excluding fid.
 	Params []ir.Type
-	// Map1[i] is the unified slot of f1's i-th parameter; Map2 likewise.
-	Map1, Map2 []int
+	// Maps[k][i] is the unified slot of member k's i-th parameter.
+	Maps [][]int
 }
 
-// PlanParams computes the parameter plan, or an error when the functions
-// cannot be merged (mismatched return types, variadic signatures).
-func PlanParams(f1, f2 *ir.Function) (*ParamPlan, error) {
-	s1, s2 := f1.Sig(), f2.Sig()
-	if !ir.TypesEqual(s1.Ret, s2.Ret) {
-		return nil, fmt.Errorf("core: return types differ (%v vs %v)", s1.Ret, s2.Ret)
+// PlanParams computes the parameter plan for a merge family, or an
+// error when the functions cannot be merged (mismatched return types,
+// variadic signatures). Member 0's parameters claim the first slots in
+// order; each later member greedily claims the first free slot of equal
+// type, so the two-member plan is exactly the historical pairwise one.
+func PlanParams(fns ...*ir.Function) (*ParamPlan, error) {
+	if len(fns) < 2 {
+		return nil, fmt.Errorf("core: a merge family needs at least two functions")
 	}
-	if s1.Variadic || s2.Variadic {
-		return nil, fmt.Errorf("core: variadic functions are not merged")
-	}
-	p := &ParamPlan{
-		Ret:  s1.Ret,
-		Map1: make([]int, len(s1.Params)),
-		Map2: make([]int, len(s2.Params)),
-	}
-	used := make([]bool, len(s2.Params))
-	for i, t1 := range s1.Params {
-		p.Map1[i] = len(p.Params)
-		p.Params = append(p.Params, t1)
-		for j, t2 := range s2.Params {
-			if !used[j] && ir.TypesEqual(t1, t2) {
-				used[j] = true
-				p.Map2[j] = p.Map1[i]
-				break
+	s0 := fns[0].Sig()
+	p := &ParamPlan{Ret: s0.Ret, Maps: make([][]int, len(fns))}
+	for j, f := range fns {
+		sj := f.Sig()
+		if !ir.TypesEqual(s0.Ret, sj.Ret) {
+			return nil, fmt.Errorf("core: return types differ (%v vs %v)", s0.Ret, sj.Ret)
+		}
+		if sj.Variadic {
+			return nil, fmt.Errorf("core: variadic functions are not merged")
+		}
+		used := make([]bool, len(p.Params))
+		p.Maps[j] = make([]int, len(sj.Params))
+		for i, t := range sj.Params {
+			slot := -1
+			for s, ts := range p.Params {
+				if !used[s] && ir.TypesEqual(t, ts) {
+					slot = s
+					break
+				}
 			}
+			if slot < 0 {
+				slot = len(p.Params)
+				p.Params = append(p.Params, t)
+				used = append(used, false)
+			}
+			used[slot] = true
+			p.Maps[j][i] = slot
 		}
 	}
-	for j, t2 := range s2.Params {
-		if !used[j] {
-			used[j] = true // self-claim so the loop above cannot double-assign
-			p.Map2[j] = len(p.Params)
-			p.Params = append(p.Params, t2)
-		}
-	}
-	// Mark unpaired f2 params that were claimed pairwise: nothing to do,
-	// Map2 is already complete.
 	return p, nil
 }
 
+// FidType returns the function-identifier type for a family of k
+// members: the historical i1 for two (true selects member 0), an i32
+// index beyond.
+func FidType(k int) ir.Type {
+	if k <= 2 {
+		return ir.I1
+	}
+	return ir.I32
+}
+
+// FidConst returns the identifier constant a caller passes to select
+// the given member of merged. Two-member families keep the historical
+// boolean polarity (true selects member 0); larger families pass the
+// member index.
+func FidConst(merged *ir.Function, member int) ir.Value {
+	if ir.TypesEqual(merged.Param(0).Type(), ir.I1) {
+		return ir.Bool(member == 0)
+	}
+	return ir.NewConstInt(ir.I32, int64(member))
+}
+
 // NewMergedShell creates the (empty) merged function for the plan and
-// registers it in m. The returned argument maps send each original
-// parameter to its merged counterpart.
-func NewMergedShell(m *ir.Module, name string, f1, f2 *ir.Function, plan *ParamPlan) (merged *ir.Function, fid *ir.Argument, amap1, amap2 map[ir.Value]ir.Value) {
-	sig := ir.FuncOf(plan.Ret, append([]ir.Type{ir.I1}, plan.Params...)...)
+// registers it in m. The returned argument maps send each member's
+// original parameters to their merged counterparts.
+func NewMergedShell(m *ir.Module, name string, fns []*ir.Function, plan *ParamPlan) (merged *ir.Function, fid *ir.Argument, amaps []map[ir.Value]ir.Value) {
+	sig := ir.FuncOf(plan.Ret, append([]ir.Type{FidType(len(fns))}, plan.Params...)...)
 	names := make([]string, len(sig.Params))
 	names[0] = "fid"
-	for i, p := range f1.Params() {
-		names[plan.Map1[i]+1] = p.Name()
+	for i, p := range fns[0].Params() {
+		names[plan.Maps[0][i]+1] = p.Name()
 	}
 	merged = ir.NewFunction(name, sig, names...)
 	m.AddFunc(merged)
 	fid = merged.Param(0)
-	amap1 = map[ir.Value]ir.Value{}
-	amap2 = map[ir.Value]ir.Value{}
-	for i, p := range f1.Params() {
-		amap1[p] = merged.Param(plan.Map1[i] + 1)
+	amaps = make([]map[ir.Value]ir.Value, len(fns))
+	for j, f := range fns {
+		amaps[j] = map[ir.Value]ir.Value{}
+		for i, p := range f.Params() {
+			amaps[j][p] = merged.Param(plan.Maps[j][i] + 1)
+		}
 	}
-	for j, p := range f2.Params() {
-		amap2[p] = merged.Param(plan.Map2[j] + 1)
-	}
-	return merged, fid, amap1, amap2
+	return merged, fid, amaps
 }
 
 // BuildThunk replaces f's body with a forwarding call to merged:
 // f(args...) becomes merged(fid, unified args...), passing undef for
-// parameters exclusive to the other input function.
-func BuildThunk(f, merged *ir.Function, fid bool, slotOf []int, plan *ParamPlan) {
+// parameters exclusive to other members and the identifier constant
+// selecting member (see FidConst).
+func BuildThunk(f, merged *ir.Function, member int, slotOf []int, plan *ParamPlan) {
 	f.Clear()
 	entry := f.NewBlockIn("entry")
 	args := make([]ir.Value, 1+len(plan.Params))
-	args[0] = ir.Bool(fid)
+	args[0] = FidConst(merged, member)
 	for i, t := range plan.Params {
 		args[i+1] = ir.NewUndef(t)
 	}

@@ -11,21 +11,22 @@ import (
 // repairSSA restores the dominance property of the merged function
 // (§4.3) and applies phi-node coalescing (§4.4).
 //
-// Interweaving the two functions' control flow leaves some definitions
-// no longer dominating their uses (Figure 13a). Following the paper,
-// each offending definition is demoted to a fresh stack slot (store
-// after the definition, load at each offending use) and the standard SSA
+// Interweaving the members' control flow leaves some definitions no
+// longer dominating their uses (Figure 13a). Following the paper, each
+// offending definition is demoted to a fresh stack slot (store after
+// the definition, load at each offending use) and the standard SSA
 // construction algorithm — our Mem2Reg register promotion — re-promotes
 // the slots, placing phi-nodes exactly where needed. Loads on paths with
 // no reaching store become undef, playing the role of the paper's
 // pseudo-definition at the entry.
 //
-// Phi-node coalescing assigns one shared slot to a pair of *disjoint*
-// definitions (one exclusive to each input function, same type) instead
-// of two. Both arms of a fid-select over the pair then load the same
-// slot, so the select folds away along with one of the two phis —
-// exactly Figure 14b. Pairs are chosen to maximise |UB(d1) ∩ UB(d2)|
-// where UB(d) is the set of blocks containing users of d.
+// Phi-node coalescing assigns one shared slot to a class of *disjoint*
+// definitions (each exclusive to a different member, same type) instead
+// of one slot each. All arms of a fid-indexed resolution over the class
+// then load the same slot, so the selection folds away along with the
+// redundant phis — exactly Figure 14b, generalized from pairs to up to
+// k defs per slot. Classes are grown greedily by descending user-block
+// overlap.
 func (g *generator) repairSSA() {
 	f := g.merged
 	dt := analysis.NewDomTree(f)
@@ -78,9 +79,9 @@ func (g *generator) repairSSA() {
 				def.Parent().InsertAfter(st, def)
 			}
 		}
-		// One load per offending use site, cached so that a fid-select
-		// whose two arms belong to the same class receives the same load
-		// twice and folds away.
+		// One load per offending use site, cached so that a fid-indexed
+		// resolution whose arms belong to the same class receives the
+		// same load repeatedly and folds away.
 		loadAt := map[*ir.Block]*ir.Instruction{}        // phi incoming block -> load
 		loadFor := map[*ir.Instruction]*ir.Instruction{} // user -> load
 		for _, def := range class {
@@ -127,48 +128,58 @@ func (g *generator) promoteAndFold() {
 	}
 }
 
+// slotClass is one coalescing class under construction: defs from
+// pairwise-distinct members (the disjointness invariant), tracked by a
+// member bitmask.
+type slotClass struct {
+	defs    []*ir.Instruction
+	members uint64
+	dead    bool // absorbed into an earlier class
+}
+
 // coalesce partitions the offending definitions into slot classes. With
 // PhiCoalescing disabled every definition gets its own class. Otherwise
-// disjoint definitions (one exclusive to each function, equal types) are
-// paired greedily by descending user-block overlap, then leftovers of
-// equal type are paired arbitrarily (Figure 15 shows zero-overlap pairs
-// are still worth coalescing).
+// definitions exclusive to distinct members (equal types) are grouped
+// greedily by descending user-block overlap — for two members exactly
+// the paper's disjoint pairing, beyond two a class may collect one def
+// per member (Figure 15 shows zero-overlap groupings are still worth
+// coalescing).
 func (g *generator) coalesce(defs []*ir.Instruction) [][]*ir.Instruction {
-	if !g.opts.PhiCoalescing {
+	// The member bitmask below caps coalescing at 64 members; families
+	// that large get per-def slots (correct, just unoptimized).
+	if !g.opts.PhiCoalescing || g.k > 64 {
 		out := make([][]*ir.Instruction, len(defs))
 		for i, d := range defs {
 			out[i] = []*ir.Instruction{d}
 		}
 		return out
 	}
-	// A definition is exclusive to one input function only if its *block*
-	// executes solely under that function's identifier. Block exclusivity
-	// is what guarantees disjointness: a phi copied from f1 into a
-	// matched-label block still executes (with undef inputs) when fid
-	// selects f2, so sharing its slot with an f2 definition would clobber
-	// the live value.
+	// A definition is exclusive to one member only if its *block*
+	// executes solely under that member's identifier. Block exclusivity
+	// is what guarantees disjointness: a phi copied from one member into
+	// a matched-label block still executes (with undef inputs) under
+	// other identifiers, so sharing its slot with another member's
+	// definition would clobber the live value.
 	side := func(d *ir.Instruction) int {
 		b := d.Parent()
-		o0 := g.origin[0][b] != nil
-		o1 := g.origin[1][b] != nil
-		switch {
-		case o0 && !o1:
-			return 0
-		case o1 && !o0:
-			return 1
-		default:
-			return -1 // shared block (or generator-introduced): executes for both
+		owner := -1
+		for j := 0; j < g.k; j++ {
+			if g.origin[j][b] == nil {
+				continue
+			}
+			if owner >= 0 {
+				return -1 // shared block: executes for several members
+			}
+			owner = j
 		}
+		return owner // -1 for generator-introduced blocks too
 	}
-	var s0, s1 []*ir.Instruction
+	byMember := make([][]*ir.Instruction, g.k)
 	var shared []*ir.Instruction
 	for _, d := range defs {
-		switch side(d) {
-		case 0:
-			s0 = append(s0, d)
-		case 1:
-			s1 = append(s1, d)
-		default:
+		if s := side(d); s >= 0 {
+			byMember[s] = append(byMember[s], d)
+		} else {
 			shared = append(shared, d)
 		}
 	}
@@ -179,51 +190,82 @@ func (g *generator) coalesce(defs []*ir.Instruction) [][]*ir.Instruction {
 		}
 		return ub
 	}
-	ub0 := make([]map[*ir.Block]bool, len(s0))
-	for i, d := range s0 {
-		ub0[i] = userBlocks(d)
+	ub := map[*ir.Instruction]map[*ir.Block]bool{}
+	for j := 0; j < g.k; j++ {
+		for _, d := range byMember[j] {
+			ub[d] = userBlocks(d)
+		}
 	}
 	type cand struct {
-		i, j    int
+		a, b    *ir.Instruction
 		overlap int
 	}
 	var cands []cand
-	for i, d0 := range s0 {
-		for j, d1 := range s1 {
-			if !ir.TypesEqual(d0.Type(), d1.Type()) {
-				continue
-			}
-			ov := 0
-			for _, u := range ir.UsesOf(d1) {
-				if ub0[i][u.User.Parent()] {
-					ov++
+	for mi := 0; mi < g.k; mi++ {
+		for mj := mi + 1; mj < g.k; mj++ {
+			for _, d0 := range byMember[mi] {
+				for _, d1 := range byMember[mj] {
+					if !ir.TypesEqual(d0.Type(), d1.Type()) {
+						continue
+					}
+					ov := 0
+					for _, u := range ir.UsesOf(d1) {
+						if ub[d0][u.User.Parent()] {
+							ov++
+						}
+					}
+					cands = append(cands, cand{a: d0, b: d1, overlap: ov})
 				}
 			}
-			cands = append(cands, cand{i: i, j: j, overlap: ov})
 		}
 	}
 	// Greedy maximum-overlap matching (stable order for determinism).
 	sort.SliceStable(cands, func(a, b int) bool { return cands[a].overlap > cands[b].overlap })
-	used0 := make([]bool, len(s0))
-	used1 := make([]bool, len(s1))
-	var classes [][]*ir.Instruction
+	memberOf := map[*ir.Instruction]int{}
+	for j := 0; j < g.k; j++ {
+		for _, d := range byMember[j] {
+			memberOf[d] = j
+		}
+	}
+	classOf := map[*ir.Instruction]*slotClass{}
+	var accepted []*slotClass
+	classFor := func(d *ir.Instruction) *slotClass {
+		if c := classOf[d]; c != nil {
+			return c
+		}
+		return &slotClass{defs: []*ir.Instruction{d}, members: 1 << uint(memberOf[d])}
+	}
 	for _, c := range cands {
-		if used0[c.i] || used1[c.j] {
+		ca, cb := classFor(c.a), classFor(c.b)
+		if ca == cb || ca.members&cb.members != 0 {
 			continue
 		}
-		used0[c.i] = true
-		used1[c.j] = true
-		classes = append(classes, []*ir.Instruction{s0[c.i], s1[c.j]})
+		// Merge cb into ca; record ca as a multi-def class on its first
+		// growth (the acceptance order drives slot creation order).
+		wasSingleton := len(ca.defs) == 1 && classOf[c.a] == nil
+		ca.defs = append(ca.defs, cb.defs...)
+		ca.members |= cb.members
+		cb.dead = true
+		for _, d := range cb.defs {
+			classOf[d] = ca
+		}
+		classOf[c.a] = ca
+		if wasSingleton {
+			accepted = append(accepted, ca)
+		}
 		g.stats.CoalescedPairs++
 	}
-	for i, d := range s0 {
-		if !used0[i] {
-			classes = append(classes, []*ir.Instruction{d})
+	var classes [][]*ir.Instruction
+	for _, c := range accepted {
+		if !c.dead {
+			classes = append(classes, c.defs)
 		}
 	}
-	for j, d := range s1 {
-		if !used1[j] {
-			classes = append(classes, []*ir.Instruction{d})
+	for j := 0; j < g.k; j++ {
+		for _, d := range byMember[j] {
+			if classOf[d] == nil {
+				classes = append(classes, []*ir.Instruction{d})
+			}
 		}
 	}
 	for _, d := range shared {

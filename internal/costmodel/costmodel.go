@@ -56,8 +56,7 @@ func InstrBytes(in *ir.Instruction, target Target) int {
 		}
 		return x86(2)
 	case ir.OpSwitch:
-		// Compare-and-branch chain or table: charge per case plus base.
-		return x86(4 + 4*len(in.SwitchCases()))
+		return SwitchBytes(target, len(in.SwitchCases()))
 	case ir.OpUnreachable:
 		return x86(1)
 	case ir.OpCall:
@@ -151,9 +150,39 @@ func EvaluateMerge(f1, f2, merged *ir.Function, target Target, thunkBytes int) M
 	}
 }
 
-// ThunkBytes is the estimated size of a forwarding thunk (set up fid,
-// forward arguments, tail-call the merged function).
+// SwitchBytes estimates the object-code bytes of a switch dispatch with
+// the given case count: a compare-and-branch chain or table, charged per
+// case plus base. It is the single switch-pricing rule, shared between
+// InstrBytes' OpSwitch lowering and the family label-selection costing
+// (the switch-on-fid blocks the k-ary generator emits are real OpSwitch
+// instructions, so both paths price them identically by construction).
+func SwitchBytes(target Target, cases int) int {
+	n := 4 + 4*cases
+	if target == Thumb {
+		n = (n + 1) / 2
+	}
+	return n
+}
+
+// ThunkBytes is the estimated size of a forwarding thunk into a merged
+// function: materialize the function identifier, forward the arguments
+// (numArgs counts the merged function's parameters, identifier
+// included), tail-call. The identifier is a real argument on every
+// thunk — an immediate move the register-forwarding estimate used to
+// ignore — so it is charged explicitly on top of its argument slot.
 func ThunkBytes(target Target, numArgs int) int {
+	n := 8 + numArgs + 2
+	if target == Thumb {
+		n = 4 + (numArgs+1)/2 + 1
+	}
+	return n
+}
+
+// ForwarderBytes is the estimated size of a plain forwarder (forward
+// the arguments unchanged, tail-call a same-signature function): a
+// thunk without an identifier to materialize. Duplicate folding prices
+// its forwarders with this.
+func ForwarderBytes(target Target, numArgs int) int {
 	n := 8 + numArgs
 	if target == Thumb {
 		n = 4 + (numArgs+1)/2

@@ -95,6 +95,38 @@ func TestThunkBytesGrowsWithArgs(t *testing.T) {
 	}
 }
 
+func TestThunkBytesChargesFid(t *testing.T) {
+	// A merge thunk materializes the function identifier on top of
+	// forwarding its arguments; a plain forwarder does not.
+	for _, target := range []Target{X86_64, Thumb} {
+		if ThunkBytes(target, 4) <= ForwarderBytes(target, 4) {
+			t.Errorf("%v: thunk (%d) must cost more than a forwarder (%d)",
+				target, ThunkBytes(target, 4), ForwarderBytes(target, 4))
+		}
+	}
+}
+
+func TestSwitchBytesSharedWithInstrBytes(t *testing.T) {
+	// The switch-pricing helper and InstrBytes(OpSwitch) must agree:
+	// the family label selections are real switch instructions, so one
+	// rule prices both.
+	blk := ir.NewBlock("a")
+	blk2 := ir.NewBlock("b")
+	def := ir.NewBlock("d")
+	sw := ir.NewSwitch(ir.NewConstInt(ir.I32, 0), def,
+		ir.SwitchCase{Val: ir.NewConstInt(ir.I32, 1), Dest: blk},
+		ir.SwitchCase{Val: ir.NewConstInt(ir.I32, 2), Dest: blk2},
+	)
+	for _, target := range []Target{X86_64, Thumb} {
+		if got, want := InstrBytes(sw, target), SwitchBytes(target, 2); got != want {
+			t.Errorf("%v: InstrBytes(switch) = %d, SwitchBytes = %d", target, got, want)
+		}
+		if SwitchBytes(target, 3) <= SwitchBytes(target, 1) {
+			t.Errorf("%v: switch cost must grow with case count", target)
+		}
+	}
+}
+
 func TestFuncSizeIsInstructionCount(t *testing.T) {
 	m := irtext.MustParse(irtext.Fig2Module)
 	if got := FuncSize(m.FuncByName("F1")); got != 10 {

@@ -46,8 +46,8 @@ func TestMinimizeMergeBug(t *testing.T) {
 			if err != nil {
 				continue
 			}
-			core.BuildThunk(f1, merged, true, plan.Map1, plan)
-			core.BuildThunk(f2, merged, false, plan.Map2, plan)
+			core.BuildThunk(f1, merged, 0, plan.Maps[0], plan)
+			core.BuildThunk(f2, merged, 1, plan.Maps[1], plan)
 			for _, name := range []string{f1.Name(), f2.Name()} {
 				for as := int64(1); as <= 4; as++ {
 					of := orig.FuncByName(name)

@@ -146,6 +146,17 @@ type Config struct {
 	// deduplicated for free (zero DP cells) and only their
 	// representative stays in the candidate set.
 	DupFold bool
+	// MaxFamily bounds merge families: when >= 3, every committed merge
+	// records its members' original bodies, and a merged function that
+	// finds another profitable partner is *flattened* — the family's
+	// originals plus the newcomer re-merge into one fresh k-ary body
+	// behind an integer function identifier, and every member thunk is
+	// rewritten to target it — instead of nesting another pairwise
+	// layer. Growth stops at MaxFamily members; further partners nest,
+	// the historical behaviour. Values < 3 (including the zero value)
+	// disable family tracking entirely: every merge is pairwise and
+	// nothing extra is retained.
+	MaxFamily int
 	// CommitFilter, when non-nil, decides whether the i-th profitable
 	// merge is committed (used by the Figure 19 isolation study).
 	CommitFilter func(i int) bool
@@ -170,8 +181,12 @@ type Config struct {
 }
 
 // MergeRecord describes one committed (or filtered) profitable merge.
+// A non-empty Family marks a flattening: the named originals (in fid
+// order) were re-merged into one k-ary body and their thunks rewritten,
+// replacing the previous merged head(s).
 type MergeRecord struct {
 	F1, F2, Merged string
+	Family         []string
 	Profit         int
 	Stats          core.Stats
 	Committed      bool
@@ -211,6 +226,14 @@ type Result struct {
 	// earlier run of the same Session, skipped without any alignment or
 	// codegen. Always 0 for one-shot runs.
 	OutcomeHits int
+	// Families counts the merge families alive after the run and
+	// FamilySizes is their size histogram (member count -> families);
+	// both are zero unless Config.MaxFamily enables family tracking.
+	// Flattened counts the commits of this run that replaced a family
+	// head with a re-merged k-ary body instead of nesting.
+	Families    int
+	FamilySizes map[int]int
+	Flattened   int
 	// Search reports the candidate finder's query accounting.
 	Search search.Stats
 	// AlignCache reports the per-run linearization/class cache: every
@@ -281,6 +304,11 @@ func Run(m *ir.Module, cfg Config) *Result {
 // Session open instead and report deltas through Update/Remove, which
 // turns the per-run index build into incremental maintenance.
 func RunContext(ctx context.Context, m *ir.Module, cfg Config) (*Result, error) {
+	// A one-shot session can never re-optimize, so chains cannot form
+	// and family tracking would only clone original bodies that die
+	// unused at Close: force it off. Callers that want flattening hold
+	// a Session open across runs.
+	cfg.MaxFamily = 0
 	s, err := OpenSession(ctx, m, cfg)
 	if err != nil {
 		// A dead context must still produce the historical stub result
@@ -310,6 +338,10 @@ type trial struct {
 	stats   core.Stats
 	profit  int
 	err     error
+	// family marks a flatten trial (see family.go): the merged function
+	// is a k-ary body over the plan's sources instead of a pairwise
+	// merge of f1 and f2, and committing rewrites every member thunk.
+	family *flattenPlan
 
 	alignTime, codegenTime time.Duration
 	matrixBytes            int64
@@ -399,8 +431,8 @@ func commit(f1, f2, merged *ir.Function) {
 	if err != nil {
 		panic(fmt.Sprintf("driver: committed merge has invalid plan: %v", err))
 	}
-	core.BuildThunk(f1, merged, true, plan.Map1, plan)
-	core.BuildThunk(f2, merged, false, plan.Map2, plan)
+	core.BuildThunk(f1, merged, 0, plan.Maps[0], plan)
+	core.BuildThunk(f2, merged, 1, plan.Maps[1], plan)
 }
 
 func mergedBaseName(f1, f2 *ir.Function) string {

@@ -38,7 +38,14 @@ type PlannedMerge struct {
 	F1     string `json:"f1"`
 	F2     string `json:"f2"`
 	Merged string `json:"merged"`
-	Profit int    `json:"profit"`
+	// Family, when non-empty, marks the merge as a family flattening:
+	// the named originals (in fid order) re-merge into one k-ary body
+	// and their live thunks are rewritten onto it. Apply re-derives the
+	// flatten from the session's family registry and verifies it still
+	// matches this member list, so a family plan is only applicable on
+	// the session that recorded the families.
+	Family []string `json:"family,omitempty"`
+	Profit int      `json:"profit"`
 	// Hash1 and Hash2 are the structural hashes of F1 and F2 at
 	// planning time; Apply verifies them before merging. They are
 	// serialized as JSON strings: full-range uint64 values do not

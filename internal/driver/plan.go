@@ -42,6 +42,13 @@ func (r *runner) planAll(ctx context.Context, order []*ir.Function) *planner {
 			if r.outcomes.has(f1, f2) {
 				continue
 			}
+			// Family pairs are never speculated: flatten trials read and
+			// (in commit mode) mutate shared family state, so the walk
+			// plans them serially. This enumeration runs before the
+			// workers start, so the registry reads here cannot race.
+			if familyCandidate(r.families, cfg.MaxFamily, f1, f2) {
+				continue
+			}
 			keys = append(keys, pairKey{f1: f1, f2: f2})
 		}
 	}

@@ -35,7 +35,12 @@ type runner struct {
 	sizes map[*ir.Function]int
 	// outcomes, when non-nil, memoizes unprofitable pairs across runs;
 	// pairs found there skip alignment and codegen entirely.
-	outcomes   *outcomeCache
+	outcomes *outcomeCache
+	// families, when non-nil, is the session's merge-family registry:
+	// pairs involving a family head flatten (family.go) instead of
+	// nesting, and every pairwise commit records a new two-member
+	// family. Only the (serial) commit stage touches it.
+	families   *familySet
 	commitMode bool
 	runID      int64
 	res        *Result
@@ -115,7 +120,7 @@ func (r *runner) foldStep(candidates []*ir.Function) {
 	for _, fam := range search.Families(candidates) {
 		rep := fam[0]
 		for _, dup := range fam[1:] {
-			profit := r.sizes[dup] - costmodel.ThunkBytes(r.cfg.Target, len(dup.Params()))
+			profit := r.sizes[dup] - costmodel.ForwarderBytes(r.cfg.Target, len(dup.Params()))
 			if profit <= 0 {
 				continue
 			}
@@ -200,6 +205,13 @@ commitLoop:
 			break
 		}
 		var best *trial
+		// Per-row memo for the external-caller scans of flattenFor: the
+		// module only changes at this row's commit, so one scan per
+		// family serves every candidate of the row.
+		var extScan map[*ir.Function]bool
+		if r.families != nil && cfg.MaxFamily >= 3 {
+			extScan = map[*ir.Function]bool{}
+		}
 		for _, f2 := range r.candidates(f1, cfg.Threshold) {
 			if consumed[f2] {
 				continue
@@ -213,23 +225,38 @@ commitLoop:
 				continue
 			}
 			var t *trial
-			if pl != nil {
-				t = pl.take(f1, f2)
-			}
-			if t != nil {
-				res.CacheHits++
-			} else {
+			if fp := flattenFor(m, r.families, cfg.MaxFamily, f1, f2, extScan); fp != nil {
+				// Family flattening replaces the pairwise trial: merge
+				// the family's original bodies plus the newcomer into
+				// one fresh k-ary candidate. Always planned here, on
+				// the serial walk (planAll skips family pairs).
 				if err := ctx.Err(); err != nil {
 					runErr = err
 					discard(best)
 					break commitLoop
 				}
-				if r.commitMode {
-					t = planTrialInPlace(ctx, m, f1, f2, r.cache, r.sizes, opts, cfg)
+				name := familyMergedName(m, fp.names, r.claimed)
+				t = planFlattenTrial(ctx, m, fp, name, r.commitMode, cfg)
+				t.f1, t.f2 = f1, f2
+			} else {
+				if pl != nil {
+					t = pl.take(f1, f2)
+				}
+				if t != nil {
+					res.CacheHits++
 				} else {
-					// Dry runs must not touch the module: replans use the
-					// same pure scratch-clone trials as the workers.
-					t = planTrial(ctx, f1, f2, r.cache, r.sizes, opts, cfg)
+					if err := ctx.Err(); err != nil {
+						runErr = err
+						discard(best)
+						break commitLoop
+					}
+					if r.commitMode {
+						t = planTrialInPlace(ctx, m, f1, f2, r.cache, r.sizes, opts, cfg)
+					} else {
+						// Dry runs must not touch the module: replans use the
+						// same pure scratch-clone trials as the workers.
+						t = planTrial(ctx, f1, f2, r.cache, r.sizes, opts, cfg)
+					}
 				}
 			}
 			res.Attempts++
@@ -267,11 +294,16 @@ commitLoop:
 			F1: f1.Name(), F2: best.f2.Name(),
 			Profit: best.profit, Stats: best.stats, Committed: true,
 		}
+		if best.family != nil {
+			rec.Family = append([]string(nil), best.family.names...)
+		}
 		if cfg.CommitFilter != nil && !cfg.CommitFilter(mergeIdx) {
 			rec.Committed = false
 			if best.scratch == nil {
 				rec.Merged = best.merged.Name()
 				discard(best)
+			} else if best.family != nil {
+				rec.Merged = best.merged.Name()
 			} else {
 				rec.Merged = r.mergedName(f1, best.f2)
 			}
@@ -280,28 +312,58 @@ commitLoop:
 				adopt(m, best)
 			}
 			rec.Merged = best.merged.Name()
-			commit(f1, best.f2, best.merged)
-			consumed[f1] = true
-			consumed[best.f2] = true
-			r.retire(f1)
-			r.retire(best.f2)
-			if r.markPending != nil {
-				r.markPending(best.merged)
+			if best.family != nil {
+				// Flatten: rewrite every member thunk onto the fresh
+				// k-ary head and drop the consumed heads; the rewritten
+				// thunks leave the walk with their heads.
+				for _, rw := range commitFlatten(m, best, r.families, r.retire, r.markPending) {
+					consumed[rw] = true
+				}
+				consumed[f1] = true
+				consumed[best.f2] = true
+				res.Flattened++
+			} else {
+				recordPairFamily(r.families, best.merged, f1, best.f2)
+				commit(f1, best.f2, best.merged)
+				consumed[f1] = true
+				consumed[best.f2] = true
+				r.retire(f1)
+				r.retire(best.f2)
+				if r.markPending != nil {
+					r.markPending(best.merged)
+				}
 			}
 		} else {
 			// Dry mode: the merge is a proposal, not an applied change.
 			rec.Committed = false
-			name := r.mergedName(f1, best.f2)
+			var name string
+			if best.family != nil {
+				name = best.merged.Name()
+				for _, nm := range best.family.names {
+					if live := m.FuncByName(nm); live != nil {
+						r.tomb[live] = true
+						consumed[live] = true
+					}
+				}
+				for _, h := range best.family.heads {
+					r.tomb[h] = true
+					consumed[h] = true
+				}
+			} else {
+				name = r.mergedName(f1, best.f2)
+			}
 			r.claimed[name] = true
 			rec.Merged = name
 			consumed[f1] = true
 			consumed[best.f2] = true
 			r.tomb[f1] = true
 			r.tomb[best.f2] = true
-			r.plan.Merges = append(r.plan.Merges, PlannedMerge{
+			pm := PlannedMerge{
 				F1: f1.Name(), F2: best.f2.Name(), Merged: name, Profit: best.profit,
 				Hash1: search.HashFunction(f1), Hash2: search.HashFunction(best.f2),
-			})
+			}
+			pm.Family = rec.Family
+			r.plan.Merges = append(r.plan.Merges, pm)
 		}
 		res.Merges = append(res.Merges, rec)
 		mergeIdx++
@@ -314,13 +376,18 @@ commitLoop:
 }
 
 // outcomeCache memoizes candidate pairs whose merge trial completed and
-// was unprofitable. An unprofitable trial is a pure function of the two
+// was unprofitable. A pairwise trial is a pure function of the two
 // function bodies and the generator options, so as long as neither body
 // changes the pair can be skipped on every later run — this is what
 // makes a re-optimize after a small delta pay only for the delta.
 // Entries are dropped whenever either function is re-indexed, removed
-// or thunked. Trials that error (cancellation, matrix caps) are never
-// memoized. Only the session goroutine touches the cache.
+// or thunked. A *flatten* trial additionally depends on the family
+// registry behind its head, so Session.pruneFamilies drops a head's
+// entries whenever its family breaks — without that hook a memoized
+// unprofitable flatten would suppress the (possibly profitable)
+// pairwise nest the pair gets once the family is gone. Trials that
+// error (cancellation, matrix caps) are never memoized. Only the
+// session goroutine touches the cache.
 type outcomeCache struct {
 	// pairs[f1][f2] records the directed pair (f1, f2); rev[f2] lists
 	// the f1 rows an invalidation of f2 must visit.

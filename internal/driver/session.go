@@ -88,6 +88,13 @@ type Session struct {
 
 	outcomes *outcomeCache
 
+	// families is the merge-family registry behind chain flattening
+	// (family.go); nil unless Config.MaxFamily enables tracking. It is
+	// session state, not module state: a fresh session over an
+	// already-merged module cannot recover the original bodies and
+	// therefore nests where this session flattens.
+	families *familySet
+
 	// Per-run stat baselines: the finder and cache accumulate across
 	// the session's lifetime, so each run reports the delta since the
 	// previous one (the first run's delta includes the index build,
@@ -132,6 +139,9 @@ func (s *Session) buildIndexes() {
 	s.nameOf = map[*ir.Function]string{}
 	s.outcomes = newOutcomeCache()
 	s.cands = newCandidateCache(s.cfg.Threshold)
+	if s.cfg.MaxFamily >= 3 {
+		s.families = newFamilySet()
+	}
 	var candidates []*ir.Function
 	for _, f := range s.m.Defined() {
 		if !s.eligible(f) {
@@ -188,6 +198,9 @@ func retireIndexes(finder search.Finder, cands *candidateCache, cache *align.Cac
 func (s *Session) unindex(f *ir.Function) {
 	s.outcomes.invalidate(f)
 	s.cache.Invalidate(f)
+	if s.families != nil {
+		s.families.drop(f)
+	}
 	if s.indexed[f] {
 		s.finder.Remove(f)
 		delete(s.indexed, f)
@@ -208,6 +221,16 @@ func (s *Session) sync() {
 	if s.finder == nil || len(s.pending) == 0 {
 		s.pending = map[*ir.Function]bool{}
 		return
+	}
+	// Collect the touched names (current and indexed-as) before the
+	// loop below rewrites the alias maps: pruneFamilies revalidates
+	// every family they reach.
+	touched := make(map[string]bool, len(s.pending))
+	for f := range s.pending {
+		if prev, ok := s.nameOf[f]; ok {
+			touched[prev] = true
+		}
+		touched[f.Name()] = true
 	}
 	var changed, removed []*ir.Function
 	for f, reindex := range s.pending {
@@ -233,7 +256,35 @@ func (s *Session) sync() {
 	// finder keeps its fingerprints private) — one extra instruction
 	// walk, dwarfed by the re-sketch and re-linearization above.
 	s.cands.applyDelta(changed, removed)
+	s.pruneFamilies(touched)
 	s.pending = map[*ir.Function]bool{}
+}
+
+// pruneFamilies revalidates every family a just-synced change touches
+// (by head or member name): a broken family is dropped and the
+// memoized trial outcomes of its head forgotten. A flatten trial's
+// profit depends on the family registry, not just the two bodies, so a
+// head's unprofitable-pair memo entries must not outlive the family
+// they were recorded against — otherwise a later (possibly profitable)
+// pairwise nest of the same pair would be suppressed forever. Families
+// that still validate — including ones a commit just recorded, whose
+// members are pending as freshly rewritten thunks — are untouched.
+func (s *Session) pruneFamilies(touched map[string]bool) {
+	if s.families == nil {
+		return
+	}
+	for head, fam := range s.families.byHead {
+		relevant := touched[head.Name()]
+		for _, mb := range fam.members {
+			if relevant {
+				break
+			}
+			relevant = touched[mb.name]
+		}
+		if relevant && s.families.validMembers(s.m, head) == nil {
+			s.outcomes.invalidate(head)
+		}
+	}
 }
 
 // candidateOrder returns the current candidate set in module definition
@@ -267,6 +318,7 @@ func (s *Session) Close() error {
 	s.nameOf = nil
 	s.pending = nil
 	s.outcomes = nil
+	s.families = nil
 	return nil
 }
 
@@ -389,15 +441,28 @@ func (s *Session) Optimize(ctx context.Context) (*Result, error) {
 	s.sync()
 	r := &runner{
 		m: s.m, cfg: s.cfg, cache: s.cache, finder: s.finder,
-		cands: s.cands, sizes: s.sizes, outcomes: s.outcomes, commitMode: true,
+		cands: s.cands, sizes: s.sizes, outcomes: s.outcomes,
+		families: s.families, commitMode: true,
 		runID: newRunID(), res: res, progress: s.cfg.progressFn(),
 		markPending: s.markPending,
 	}
 	runErr := r.walk(ctx, s.candidateOrder())
 	s.finishStats(res)
+	s.finishFamilies(res)
 	res.FinalBytes = costmodel.ModuleBytes(s.m, s.cfg.Target)
 	res.TotalTime = time.Since(start)
 	return res, runErr
+}
+
+// finishFamilies reports the family registry's post-run state.
+func (s *Session) finishFamilies(res *Result) {
+	if s.families == nil {
+		return
+	}
+	res.FamilySizes = s.families.sizes()
+	for _, n := range res.FamilySizes {
+		res.Families += n
+	}
 }
 
 // optimizeFMSA is the FMSA run: register demotion rewrites every
@@ -477,7 +542,8 @@ func (s *Session) Plan(ctx context.Context) (*Plan, error) {
 	s.sync()
 	r := &runner{
 		m: s.m, cfg: s.cfg, cache: s.cache, finder: s.finder,
-		cands: s.cands, sizes: s.sizes, outcomes: s.outcomes, commitMode: false,
+		cands: s.cands, sizes: s.sizes, outcomes: s.outcomes,
+		families: s.families, commitMode: false,
 		runID: newRunID(), res: res, progress: s.cfg.progressFn(),
 		plan: &Plan{
 			Algorithm: s.cfg.Algorithm.String(),
@@ -537,6 +603,7 @@ func (s *Session) Apply(ctx context.Context, p *Plan) (*Result, error) {
 	opts := s.cfg.CoreOptions()
 	finish := func(err error) (*Result, error) {
 		s.finishStats(res)
+		s.finishFamilies(res)
 		res.FinalBytes = costmodel.ModuleBytes(s.m, s.cfg.Target)
 		res.TotalTime = time.Since(start)
 		return res, err
@@ -595,7 +662,22 @@ func (s *Session) Apply(ctx context.Context, p *Plan) (*Result, error) {
 		if _, ok := s.sizes[f2]; !ok {
 			s.sizes[f2] = costmodel.FuncBytes(f2, s.cfg.Target)
 		}
-		t := planTrialInPlace(ctx, s.m, f1, f2, s.cache, s.sizes, opts, s.cfg)
+		var t *trial
+		if len(pm.Family) > 0 {
+			// A planned flattening: re-derive it from the live family
+			// registry and insist on the same member list — the plan
+			// carries only names, the original bodies live in this
+			// session's registry.
+			fp := flattenFor(s.m, s.families, s.cfg.MaxFamily, f1, f2, nil)
+			if fp == nil || !sameNames(fp.names, pm.Family) {
+				return finish(fmt.Errorf("driver: plan is stale: family behind @%s + @%s no longer matches %v", pm.F1, pm.F2, pm.Family))
+			}
+			name := familyMergedName(s.m, fp.names, nil)
+			t = planFlattenTrial(ctx, s.m, fp, name, true, s.cfg)
+			t.f1, t.f2 = f1, f2
+		} else {
+			t = planTrialInPlace(ctx, s.m, f1, f2, s.cache, s.sizes, opts, s.cfg)
+		}
 		res.Attempts++
 		res.AlignTime += t.alignTime
 		res.CodegenTime += t.codegenTime
@@ -608,14 +690,23 @@ func (s *Session) Apply(ctx context.Context, p *Plan) (*Result, error) {
 		if t.err != nil {
 			return finish(fmt.Errorf("driver: applying @%s + @%s: %w", pm.F1, pm.F2, t.err))
 		}
-		commit(f1, f2, t.merged)
-		s.retire(f1)
-		s.retire(f2)
-		s.markPending(t.merged)
+		if t.family != nil {
+			for _, rw := range commitFlatten(s.m, t, s.families, s.retire, s.markPending) {
+				consumed[rw.Name()] = true
+			}
+			res.Flattened++
+		} else {
+			recordPairFamily(s.families, t.merged, f1, f2)
+			commit(f1, f2, t.merged)
+			s.retire(f1)
+			s.retire(f2)
+			s.markPending(t.merged)
+		}
 		consumed[pm.F1] = true
 		consumed[pm.F2] = true
 		rec := MergeRecord{
 			F1: pm.F1, F2: pm.F2, Merged: t.merged.Name(),
+			Family: append([]string(nil), pm.Family...),
 			Profit: t.profit, Stats: t.stats, Committed: true,
 		}
 		res.Merges = append(res.Merges, rec)

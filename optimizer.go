@@ -43,6 +43,7 @@ type Optimizer struct {
 	parallelism int
 	finder      FinderKind
 	dupFold     bool
+	maxFamily   int
 	progress    func(Progress)
 }
 
@@ -60,6 +61,7 @@ func New(opts ...Option) (*Optimizer, error) {
 		threshold:   1,
 		target:      X86_64,
 		parallelism: 1,
+		maxFamily:   4,
 	}
 	for _, opt := range opts {
 		if err := opt(o); err != nil {
@@ -208,6 +210,26 @@ func WithFinder(k FinderKind) Option {
 	}
 }
 
+// WithMaxFamily bounds merge families at k members (default 4). A
+// session that re-optimizes an evolving module grows families instead
+// of nesting chains: when a merged function finds another profitable
+// partner, the family's original bodies plus the newcomer are
+// re-merged into one fresh k-ary body behind an integer function
+// identifier and every member thunk is rewritten to target it — one
+// call hop and one dispatch layer no matter how often the family grew.
+// Beyond k members further partners nest pairwise, the historical
+// behaviour. k = 2 disables flattening (and the retention of original
+// bodies that powers it): every merge stays pairwise.
+func WithMaxFamily(k int) Option {
+	return func(o *Optimizer) error {
+		if k < 2 {
+			return fmt.Errorf("repro: max family must be >= 2, got %d", k)
+		}
+		o.maxFamily = k
+		return nil
+	}
+}
+
 // WithDupFold folds structurally identical functions into forwarding
 // thunks before any alignment runs (default off). Exact clone families
 // — equal up to local value names, detected by a stable GVN-style
@@ -256,6 +278,9 @@ func (o *Optimizer) Finder() FinderKind { return o.finder }
 // DupFold reports whether duplicate folding is enabled.
 func (o *Optimizer) DupFold() bool { return o.dupFold }
 
+// MaxFamily returns the configured merge-family bound.
+func (o *Optimizer) MaxFamily() int { return o.maxFamily }
+
 // config derives the driver configuration. The skip-hot map is shared,
 // not copied: the driver only reads it, and the Optimizer is immutable
 // after New.
@@ -270,6 +295,7 @@ func (o *Optimizer) config() driver.Config {
 		MinInstrs:   o.minInstrs,
 		Finder:      o.finder,
 		DupFold:     o.dupFold,
+		MaxFamily:   o.maxFamily,
 		Parallelism: o.parallelism,
 		Progress:    o.progress,
 	}
@@ -322,7 +348,53 @@ func (o *Optimizer) MergePair(ctx context.Context, m *Module, name1, name2 strin
 		return nil, nil, err
 	}
 	transform.Simplify(merged)
-	core.BuildThunk(f1, merged, true, plan.Map1, plan)
-	core.BuildThunk(f2, merged, false, plan.Map2, plan)
+	core.BuildThunk(f1, merged, 0, plan.Maps[0], plan)
+	core.BuildThunk(f2, merged, 1, plan.Maps[1], plan)
+	return merged, stats, nil
+}
+
+// MergeFamily merges the k named functions of m unconditionally (no
+// profitability check) into one k-ary body behind a function identifier
+// and replaces every original with a forwarding thunk. Two names are
+// exactly MergePair (i1 identifier); beyond two the members are aligned
+// progressively against the growing merged skeleton and dispatched on
+// an i32 identifier. It returns the merged function and the generator
+// statistics.
+//
+// The SalSSA generator variants are supported; an FMSA-configured
+// Optimizer returns an error because FMSA merges require whole-module
+// register demotion (use Optimize instead).
+func (o *Optimizer) MergeFamily(ctx context.Context, m *Module, names ...string) (*Function, *MergeStats, error) {
+	if o.algorithm == FMSA {
+		return nil, nil, fmt.Errorf("repro: MergeFamily supports the SalSSA variants only; use Optimize for FMSA")
+	}
+	if len(names) < 2 {
+		return nil, nil, fmt.Errorf("repro: MergeFamily needs at least two functions, got %d", len(names))
+	}
+	members := make([]*Function, len(names))
+	seen := map[string]bool{}
+	for i, name := range names {
+		if seen[name] {
+			return nil, nil, fmt.Errorf("repro: cannot merge function %q with itself", name)
+		}
+		seen[name] = true
+		f := m.FuncByName(name)
+		if f == nil {
+			return nil, nil, fmt.Errorf("repro: function %q not found", name)
+		}
+		members[i] = f
+	}
+	plan, err := core.PlanParams(members...)
+	if err != nil {
+		return nil, nil, err
+	}
+	merged, stats, err := core.MergeFamilyWithPlanCtx(ctx, m, members, driver.MergedFamilyName(m, names), plan, o.config().CoreOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	transform.Simplify(merged)
+	for i, f := range members {
+		core.BuildThunk(f, merged, i, plan.Maps[i], plan)
+	}
 	return merged, stats, nil
 }

@@ -7,8 +7,8 @@
 //   - ParseModule / FormatModule: the textual IR (an LLVM-like dialect);
 //   - New + Option (WithAlgorithm, WithThreshold, WithTarget,
 //     WithLinearAlign, WithMaxCells, WithMinInstrs, WithSkipHot,
-//     WithFinder, WithDupFold, WithParallelism, WithProgress): build a
-//     reusable, concurrency-safe Optimizer;
+//     WithFinder, WithDupFold, WithMaxFamily, WithParallelism,
+//     WithProgress): build a reusable, concurrency-safe Optimizer;
 //   - (*Optimizer).Optimize: the whole-module pipeline — candidate
 //     ranking, parallel merge planning, the profitability cost model,
 //     thunk creation — with context cancellation;
@@ -16,8 +16,9 @@
 //     once, maintained incrementally (Update/Remove) as the module
 //     evolves, with a Plan/Apply split for dry runs and deferred,
 //     filtered commits;
-//   - (*Optimizer).MergePair: merge one pair unconditionally and inspect
-//     the generator's statistics;
+//   - (*Optimizer).MergePair / MergeFamily: merge one pair — or a k-ary
+//     family behind an integer function identifier — unconditionally
+//     and inspect the generator's statistics;
 //   - EstimateSize: the per-target object-size model used to decide
 //     profitability and to report reductions.
 //
