@@ -1,0 +1,130 @@
+// Command fmerged serves function merging over HTTP: named merge
+// sessions, streamed module deltas, sharded planning and optimistic
+// plan/apply commits, with snapshot-based warm restarts.
+//
+// Usage:
+//
+//	fmerged [-addr :7433] [-shards N] [-snapshot-dir DIR]
+//	        [-max-sessions N] [-max-inflight N]
+//	        [-client-inflight N] [-client-funcs N] [-max-body BYTES]
+//
+//	fmerged -loadgen [-clients N] [-sessions N] [-funcs N] [-seed N]
+//	        [-finder exact|lsh] [-shards N] [-o BENCH_serve.json]
+//
+// Serve mode mounts the /v1 surface (see internal/serve and the
+// repro/client package) and runs until SIGINT/SIGTERM; on shutdown
+// every live session's module text and index snapshot are persisted
+// under -snapshot-dir (when set), so the next start warm-restarts them:
+// a client recreating a named session with an empty module body gets
+// the persisted module and, when the snapshot validates, an index
+// restore that serves its first Plan without rebuilding.
+//
+// Loadgen mode stands up an in-process daemon and drives it with
+// -clients concurrent plan/apply clients over the deterministic
+// 2000-function synthetic suite, then writes the throughput/latency
+// report to -o as JSON.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":7433", "listen address")
+		shards         = flag.Int("shards", 1, "default PlanSharded band count per session (1 = exact single-walk plan)")
+		snapshotDir    = flag.String("snapshot-dir", "", "directory for session snapshots (empty disables persistence)")
+		maxSessions    = flag.Int("max-sessions", 64, "live session cap")
+		maxInflight    = flag.Int("max-inflight", 256, "global in-flight request cap (excess gets 503)")
+		clientInflight = flag.Int("client-inflight", 32, "per-client in-flight cap (excess gets 429)")
+		clientFuncs    = flag.Int("client-funcs", 100_000, "per-client indexed-function quota (excess gets 429)")
+		maxBody        = flag.Int64("max-body", 64<<20, "request body cap in bytes")
+
+		loadgen  = flag.Bool("loadgen", false, "run the load benchmark against an in-process daemon and exit")
+		clients  = flag.Int("clients", 128, "loadgen: concurrent clients")
+		sessions = flag.Int("sessions", 4, "loadgen: daemon sessions the clients spread over")
+		funcs    = flag.Int("funcs", 2000, "loadgen: synthetic corpus size per session")
+		seed     = flag.Int64("seed", 42, "loadgen: corpus generation seed")
+		finder   = flag.String("finder", "lsh", "loadgen: candidate finder (exact|lsh)")
+		rounds   = flag.Int("rounds", 0, "loadgen: plan/apply rounds per client (0 = drive every session to its merge fixpoint)")
+		out      = flag.String("o", "BENCH_serve.json", "loadgen: report output path (\"-\" for stdout)")
+	)
+	flag.Parse()
+
+	if *loadgen {
+		if err := runLoadgen(*clients, *sessions, *funcs, *seed, *finder, *shards, *rounds, *out); err != nil {
+			log.Fatalf("fmerged: loadgen: %v", err)
+		}
+		return
+	}
+
+	srv := serve.New(serve.Config{
+		MaxSessions:       *maxSessions,
+		MaxInflight:       *maxInflight,
+		MaxClientInflight: *clientInflight,
+		MaxClientFuncs:    *clientFuncs,
+		MaxBodyBytes:      *maxBody,
+		SnapshotDir:       *snapshotDir,
+		Shards:            *shards,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-done
+		log.Printf("fmerged: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.SnapshotAll(); err != nil {
+			log.Printf("fmerged: persisting sessions: %v", err)
+		}
+		hs.Shutdown(ctx)
+	}()
+
+	log.Printf("fmerged: serving on %s (shards=%d snapshots=%q)", *addr, *shards, *snapshotDir)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("fmerged: %v", err)
+	}
+	srv.Close()
+}
+
+func runLoadgen(clients, sessions, funcs int, seed int64, finder string, shards, rounds int, out string) error {
+	rep, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		Clients:   clients,
+		Sessions:  sessions,
+		Funcs:     funcs,
+		Seed:      seed,
+		Finder:    finder,
+		Shards:    shards,
+		MaxRounds: rounds,
+	}, false)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"fmerged loadgen: %d clients over %d sessions: %d ops in %.1fs (%.1f ops/s), p50 %.1fms p95 %.1fms p99 %.1fms, %d conflicts, %d errors\n",
+		clients, sessions, rep.Ops, rep.ElapsedSec, rep.ThroughputOps, rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.Conflicts, rep.Errors)
+	return nil
+}

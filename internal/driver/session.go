@@ -303,6 +303,18 @@ func (s *Session) candidateOrder() []*ir.Function {
 // errClosed is returned by every method of a closed session.
 var errClosed = fmt.Errorf("driver: session is closed")
 
+// ErrUnknownFunction is wrapped by Update and Remove when a name
+// resolves to neither a function in the module nor an indexed
+// candidate: the caller's view of the module has diverged from the
+// session's, which a merge service must surface, not swallow.
+var ErrUnknownFunction = fmt.Errorf("unknown function")
+
+// ErrStalePlan is wrapped by Apply when a plan's structural hashes no
+// longer match the module — the code changed between Plan and Apply.
+// It is the optimistic-concurrency signal: a service maps it to a
+// conflict response and the client replans against the current module.
+var ErrStalePlan = fmt.Errorf("plan is stale")
+
 // Close releases the session's indexes. Further method calls fail; the
 // module itself is untouched and keeps every committed merge.
 func (s *Session) Close() error {
@@ -323,10 +335,13 @@ func (s *Session) Close() error {
 }
 
 // Update re-indexes the named functions after the caller mutated them
-// (or added them to the module). A name that is no longer defined in
-// the module is treated as a removal; a name the session has never
-// indexed (deleted before it was ever eligible, or unknown) is
-// harmless and ignored, so callers can forward their whole edit log.
+// (or added them to the module). A name that is in the module but no
+// longer defined (a declaration) is treated as a removal. A name that
+// resolves to neither a module function nor an indexed candidate is an
+// error wrapping ErrUnknownFunction — the caller's edit log references
+// a function the session cannot see, which means the two views have
+// diverged. The whole call is validated before anything is marked, so
+// on error no name took effect.
 func (s *Session) Update(ctx context.Context, changed ...string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -335,6 +350,11 @@ func (s *Session) Update(ctx context.Context, changed ...string) error {
 	}
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	for _, name := range changed {
+		if s.m.FuncByName(name) == nil && s.byName[name] == nil {
+			return fmt.Errorf("driver: Update(%q): %w", name, ErrUnknownFunction)
+		}
 	}
 	for _, name := range changed {
 		if f := s.m.FuncByName(name); f != nil {
@@ -356,9 +376,6 @@ func (s *Session) Update(ctx context.Context, changed ...string) error {
 		if f := s.byName[name]; f != nil {
 			s.pending[f] = false
 		}
-		// A name in neither the module nor the index was never a
-		// candidate (deleted before it became eligible, or never
-		// existed); forwarding it is harmless, so it is ignored.
 	}
 	return nil
 }
@@ -366,7 +383,10 @@ func (s *Session) Update(ctx context.Context, changed ...string) error {
 // Remove drops the named functions from the candidate set, typically
 // after the caller deleted them from the module. A function that is
 // still defined simply stops being considered until a later Update
-// re-admits it; names the session never indexed are ignored.
+// re-admits it. A name that resolves to neither an indexed candidate
+// nor a module function is an error wrapping ErrUnknownFunction; the
+// whole call is validated before anything is marked, so on error no
+// name took effect.
 func (s *Session) Remove(ctx context.Context, names ...string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -377,6 +397,11 @@ func (s *Session) Remove(ctx context.Context, names ...string) error {
 		return err
 	}
 	for _, name := range names {
+		if s.byName[name] == nil && s.m.FuncByName(name) == nil {
+			return fmt.Errorf("driver: Remove(%q): %w", name, ErrUnknownFunction)
+		}
+	}
+	for _, name := range names {
 		f := s.byName[name]
 		if f == nil {
 			f = s.m.FuncByName(name)
@@ -384,7 +409,6 @@ func (s *Session) Remove(ctx context.Context, names ...string) error {
 		if f != nil {
 			s.pending[f] = false
 		}
-		// Unknown names were never candidates; removing them is a no-op.
 	}
 	return nil
 }
@@ -612,10 +636,10 @@ func (s *Session) Apply(ctx context.Context, p *Plan) (*Result, error) {
 	stale := func(name string, want uint64) error {
 		f := s.m.FuncByName(name)
 		if f == nil {
-			return fmt.Errorf("driver: plan is stale: function @%s is gone", name)
+			return fmt.Errorf("driver: %w: function @%s is gone", ErrStalePlan, name)
 		}
 		if search.HashFunction(f) != want {
-			return fmt.Errorf("driver: plan is stale: @%s changed since planning", name)
+			return fmt.Errorf("driver: %w: @%s changed since planning", ErrStalePlan, name)
 		}
 		return nil
 	}
@@ -670,7 +694,7 @@ func (s *Session) Apply(ctx context.Context, p *Plan) (*Result, error) {
 			// session's registry.
 			fp := flattenFor(s.m, s.families, s.cfg.MaxFamily, f1, f2, nil)
 			if fp == nil || !sameNames(fp.names, pm.Family) {
-				return finish(fmt.Errorf("driver: plan is stale: family behind @%s + @%s no longer matches %v", pm.F1, pm.F2, pm.Family))
+				return finish(fmt.Errorf("driver: %w: family behind @%s + @%s no longer matches %v", ErrStalePlan, pm.F1, pm.F2, pm.Family))
 			}
 			name := familyMergedName(s.m, fp.names, nil)
 			t = planFlattenTrial(ctx, s.m, fp, name, true, s.cfg)

@@ -40,12 +40,7 @@ func sessionBenchConfig() Config {
 
 func sessionBenchSetup(b *testing.B) {
 	sessionBenchOnce.Do(func() {
-		m := synth.Generate(synth.Profile{
-			Name: "sess2k", Seed: 42, Funcs: 2000,
-			MinSize: 6, AvgSize: 40, MaxSize: 220,
-			CloneFrac: 0.4, FamilySize: 4, MutRate: 0.06,
-			Loops: 0.5, Switches: 0.4,
-		})
+		m := synth.Generate(synth.SuiteProfile(2000, 42))
 		cfg := sessionBenchConfig()
 		s, err := OpenSession(context.Background(), m, cfg)
 		if err != nil {

@@ -3,6 +3,7 @@ package driver
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
@@ -621,45 +622,73 @@ func TestSessionClosed(t *testing.T) {
 	}
 }
 
-// TestSessionUpdateUnknown: names the session never indexed — unknown
-// names, and functions that were deleted before they were ever
-// eligible — are ignored, so callers can forward their whole edit log.
+// TestSessionUpdateUnknown: a name resolving to neither a module
+// function nor an indexed candidate is a clear error wrapping
+// ErrUnknownFunction (not a silent no-op), and the call is atomic — an
+// error means no name in the batch took effect.
 func TestSessionUpdateUnknown(t *testing.T) {
 	m := testModule(t, 1)
-	// A high MinInstrs keeps small functions out of the index.
-	minInstrs := 0
+	// A high MinInstrs keeps small functions out of the index; such a
+	// function is still known (it is in the module), so updating it must
+	// keep working.
 	var small *ir.Function
 	for _, f := range m.Defined() {
 		if small == nil || f.NumInstrs() < small.NumInstrs() {
 			small = f
 		}
 	}
-	minInstrs = small.NumInstrs() + 1
 	s, err := OpenSession(context.Background(), m, Config{
-		Algorithm: SalSSA, Threshold: 1, Target: costmodel.X86_64, MinInstrs: minInstrs,
+		Algorithm: SalSSA, Threshold: 1, Target: costmodel.X86_64, MinInstrs: small.NumInstrs() + 1,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if err := s.Update(context.Background(), "no-such-function"); err != nil {
-		t.Errorf("Update of unknown name should be ignored, got %v", err)
+	ctx := context.Background()
+	if err := s.Update(ctx, "no-such-function"); !errors.Is(err, ErrUnknownFunction) {
+		t.Errorf("Update of unknown name: err = %v, want ErrUnknownFunction", err)
 	}
-	if err := s.Remove(context.Background(), "no-such-function"); err != nil {
-		t.Errorf("Remove of unknown name should be ignored, got %v", err)
+	if err := s.Remove(ctx, "no-such-function"); !errors.Is(err, ErrUnknownFunction) {
+		t.Errorf("Remove of unknown name: err = %v, want ErrUnknownFunction", err)
 	}
-	// Delete the never-indexed function and forward the edit, as an
-	// edit-log-driven caller would; the session must take it in stride.
-	name := small.Name()
-	m.RemoveFunc(small)
-	if err := s.Update(context.Background(), name); err != nil {
-		t.Errorf("Update of a deleted, never-indexed function should be ignored, got %v", err)
+	// Known-but-unindexed names are fine.
+	if err := s.Update(ctx, small.Name()); err != nil {
+		t.Errorf("Update of a known unindexed function: %v", err)
 	}
-	if _, err := s.Optimize(context.Background()); err != nil {
+	// Atomicity: a batch mixing a valid and an unknown name fails as a
+	// whole — the valid function must not be marked, so a later Optimize
+	// sees no pending delta from it.
+	pendingBefore := len(s.pending)
+	known := m.Defined()[0].Name()
+	if err := s.Update(ctx, known, "no-such-function"); !errors.Is(err, ErrUnknownFunction) {
+		t.Errorf("mixed Update batch: err = %v, want ErrUnknownFunction", err)
+	}
+	if len(s.pending) != pendingBefore {
+		t.Errorf("failed Update batch left %d pending marks, want %d", len(s.pending), pendingBefore)
+	}
+	if err := s.Remove(ctx, known, "no-such-function"); !errors.Is(err, ErrUnknownFunction) {
+		t.Errorf("mixed Remove batch: err = %v, want ErrUnknownFunction", err)
+	}
+	if len(s.pending) != pendingBefore {
+		t.Errorf("failed Remove batch left %d pending marks, want %d", len(s.pending), pendingBefore)
+	}
+	// A function deleted from the module that the session has indexed is
+	// still known: forwarding the deletion works and retires it.
+	victim := m.Defined()[1]
+	name := victim.Name()
+	m.RemoveFunc(victim)
+	if err := s.Update(ctx, name); err != nil {
+		t.Errorf("Update of a deleted indexed function: %v", err)
+	}
+	if _, err := s.Optimize(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if err := ir.VerifyModule(m); err != nil {
 		t.Fatalf("module does not verify: %v", err)
+	}
+	// After the sync dropped it from the index, its name is gone for good.
+	if err := s.Update(ctx, name); !errors.Is(err, ErrUnknownFunction) {
+		t.Errorf("Update of a fully retired name: err = %v, want ErrUnknownFunction", err)
 	}
 }
 

@@ -93,21 +93,49 @@ type Ranking struct {
 // NewRanking fingerprints every defined function in the list. Duplicate
 // entries are dropped.
 func NewRanking(funcs []*ir.Function) *Ranking {
+	r, _ := NewRankingWith(funcs, nil)
+	return r
+}
+
+// NewRankingWith is NewRanking with optionally precomputed fingerprints:
+// a function present in prior adopts its entry instead of being
+// re-fingerprinted (the snapshot warm-restart path). It returns the
+// ranking and the number of fingerprints actually computed.
+func NewRankingWith(funcs []*ir.Function, prior map[*ir.Function]*Fingerprint) (*Ranking, int) {
 	r := &Ranking{
 		present: make(map[*ir.Function]bool, len(funcs)),
 		fps:     make(map[*ir.Function]*Fingerprint, len(funcs)),
 	}
+	built := 0
 	for _, f := range funcs {
 		if r.present[f] {
 			continue
 		}
 		r.present[f] = true
 		r.funcs = append(r.funcs, f)
-		if !f.IsDecl() {
+		if f.IsDecl() {
+			continue
+		}
+		if fp := prior[f]; fp != nil {
+			r.fps[f] = fp
+		} else {
 			r.fps[f] = New(f)
+			built++
 		}
 	}
-	return r
+	return r, built
+}
+
+// Fingerprints returns a copy of the live fingerprint map, the exported
+// half of a snapshot.
+func (r *Ranking) Fingerprints() map[*ir.Function]*Fingerprint {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[*ir.Function]*Fingerprint, len(r.fps))
+	for f, fp := range r.fps {
+		out[f] = fp
+	}
+	return out
 }
 
 // Live returns the number of fingerprinted candidates (functions that

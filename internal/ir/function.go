@@ -163,6 +163,39 @@ func (f *Function) Instrs(fn func(*Instruction) bool) {
 	}
 }
 
+// AdoptBody moves donor's body into f, preserving f's identity: every
+// call instruction holding f as its callee keeps pointing at the same
+// object (functions do not track uses, so a swap of the Function value
+// itself could never be repaired), while f's blocks, instructions and
+// parameter uses become donor's. The signatures must be equal; donor
+// must be a detached definition and comes out an empty declaration. The
+// textual-IR splicer (irtext.ParseInto) is the intended caller: it
+// parses a redefined function's new body into a staging donor and
+// grafts it here only once the whole fragment parsed cleanly.
+func (f *Function) AdoptBody(donor *Function) error {
+	if !TypesEqual(f.sig, donor.sig) {
+		return fmt.Errorf("ir: AdoptBody signature mismatch: %v vs %v", f.sig, donor.sig)
+	}
+	if donor.parent != nil {
+		return fmt.Errorf("ir: AdoptBody donor @%s is attached to a module", donor.name)
+	}
+	if donor.IsDecl() {
+		return fmt.Errorf("ir: AdoptBody donor @%s has no body", donor.name)
+	}
+	f.Clear()
+	for i, p := range donor.params {
+		ReplaceAllUsesWith(p, f.params[i])
+		f.params[i].SetName(p.Name())
+	}
+	blocks := donor.Blocks
+	donor.Blocks = nil
+	for _, b := range blocks {
+		b.parent = f
+	}
+	f.Blocks = blocks
+	return nil
+}
+
 // Clear removes and erases all blocks, turning the function into a
 // declaration; used when replacing a merged function's body with a thunk.
 func (f *Function) Clear() {

@@ -40,12 +40,26 @@ func (e *parseError) Error() string { return fmt.Sprintf("irtext: line %d: %s", 
 type pendingBody struct {
 	fn    *ir.Function
 	start int // token index just after '{'
+	// donor is the detached staging function the body is parsed into in
+	// splice mode (ParseInto); nil when parsing directly into fn.
+	donor *ir.Function
 }
 
 type parser struct {
 	toks []token
 	pos  int
 	m    *ir.Module
+
+	// into marks splice mode (ParseInto): define may redefine an
+	// existing function, and every body is parsed into a detached donor
+	// that is grafted only after the whole fragment parsed cleanly.
+	into bool
+	// definedHere tracks functions defined by this source, so a second
+	// define of the same name in one fragment is rejected instead of
+	// silently appending blocks; definedOrder preserves their order for
+	// ParseInto's result.
+	definedHere  map[*ir.Function]bool
+	definedOrder []*ir.Function
 
 	// Per-function state.
 	fn     *ir.Function
@@ -112,18 +126,35 @@ func (p *parser) parseModule() error {
 				return err
 			}
 		case t.kind == tokIdent && t.text == "declare":
-			if _, err := p.parseFuncHeader(); err != nil {
+			if _, _, err := p.parseFuncHeader(); err != nil {
 				return err
 			}
 		case t.kind == tokIdent && t.text == "define":
-			fn, err := p.parseFuncHeader()
+			fn, names, err := p.parseFuncHeader()
 			if err != nil {
 				return err
+			}
+			if p.definedHere[fn] {
+				return p.errf("@%s defined twice", fn.Name())
+			}
+			if p.definedHere == nil {
+				p.definedHere = map[*ir.Function]bool{}
+			}
+			p.definedHere[fn] = true
+			p.definedOrder = append(p.definedOrder, fn)
+			var donor *ir.Function
+			if p.into {
+				// Splice mode: never parse into the live function.
+				// The body lands in a detached donor first and is
+				// grafted only after the whole fragment checked out.
+				donor = ir.NewFunction(fn.Name(), fn.Sig(), names...)
+			} else if !fn.IsDecl() {
+				return p.errf("@%s defined twice", fn.Name())
 			}
 			if err := p.expectPunct("{"); err != nil {
 				return err
 			}
-			bodies = append(bodies, pendingBody{fn: fn, start: p.pos})
+			bodies = append(bodies, pendingBody{fn: fn, start: p.pos, donor: donor})
 			if err := p.skipBody(); err != nil {
 				return err
 			}
@@ -133,8 +164,22 @@ func (p *parser) parseModule() error {
 	}
 	for _, b := range bodies {
 		p.pos = b.start
-		if err := p.parseBody(b.fn); err != nil {
+		target := b.fn
+		if b.donor != nil {
+			target = b.donor
+		}
+		if err := p.parseBody(target); err != nil {
 			return err
+		}
+	}
+	for _, b := range bodies {
+		if b.donor == nil {
+			continue
+		}
+		if err := b.fn.AdoptBody(b.donor); err != nil {
+			// Unreachable by construction: header parsing pinned the
+			// signature and the donor is detached and defined.
+			return fmt.Errorf("irtext: splicing @%s: %w", b.fn.Name(), err)
 		}
 	}
 	return nil
@@ -161,6 +206,7 @@ func (p *parser) skipBody() error {
 // parseGlobal parses "@name = global <ty> <init>" or
 // "@name = external global <ty>".
 func (p *parser) parseGlobal() error {
+	nameLine := p.peek().line
 	name := p.next().text
 	if err := p.expectPunct("="); err != nil {
 		return err
@@ -207,6 +253,16 @@ func (p *parser) parseGlobal() error {
 			return p.errf("expected global initializer, found %s", t)
 		}
 	}
+	if existing := p.m.GlobalByName(name); existing != nil {
+		// A re-mention is fine as long as the type agrees; the original
+		// definition (and its initializer) wins. Fragments spliced by
+		// ParseInto routinely re-declare the globals they reference.
+		if !ir.TypesEqual(existing.ValueTy, ty) {
+			return &parseError{line: nameLine,
+				msg: fmt.Sprintf("@%s redeclared with different type", name)}
+		}
+		return nil
+	}
 	p.m.AddGlobal(ir.NewGlobalVar(name, ty, init))
 	return nil
 }
@@ -225,18 +281,20 @@ func zeroConstant(ty ir.Type) ir.Constant {
 }
 
 // parseFuncHeader parses "define|declare <ty> @name(<ty> [%name], ...)".
-func (p *parser) parseFuncHeader() (*ir.Function, error) {
+// The parsed parameter names are returned alongside the function, since
+// for a pre-existing function they are not recorded on it.
+func (p *parser) parseFuncHeader() (*ir.Function, []string, error) {
 	p.next() // define/declare
 	ret, err := p.parseType()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	nameTok := p.next()
 	if nameTok.kind != tokGlobal {
-		return nil, &parseError{line: nameTok.line, msg: fmt.Sprintf("expected function name, found %s", nameTok)}
+		return nil, nil, &parseError{line: nameTok.line, msg: fmt.Sprintf("expected function name, found %s", nameTok)}
 	}
 	if err := p.expectPunct("("); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var params []ir.Type
 	var names []string
@@ -244,7 +302,7 @@ func (p *parser) parseFuncHeader() (*ir.Function, error) {
 	for !p.acceptPunct(")") {
 		if len(params) > 0 || variadic {
 			if err := p.expectPunct(","); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		if p.acceptPunct("...") {
@@ -253,7 +311,7 @@ func (p *parser) parseFuncHeader() (*ir.Function, error) {
 		}
 		pt, err := p.parseType()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		pn := ""
 		if p.peek().kind == tokLocal {
@@ -265,14 +323,14 @@ func (p *parser) parseFuncHeader() (*ir.Function, error) {
 	sig := &ir.FuncType{Ret: ret, Params: params, Variadic: variadic}
 	if existing := p.m.FuncByName(nameTok.text); existing != nil {
 		if !ir.TypesEqual(existing.Sig(), sig) {
-			return nil, &parseError{line: nameTok.line,
+			return nil, nil, &parseError{line: nameTok.line,
 				msg: fmt.Sprintf("@%s redeclared with different signature", nameTok.text)}
 		}
-		return existing, nil
+		return existing, names, nil
 	}
 	fn := ir.NewFunction(nameTok.text, sig, names...)
 	p.m.AddFunc(fn)
-	return fn, nil
+	return fn, names, nil
 }
 
 // parseType parses a type, including pointer suffixes.

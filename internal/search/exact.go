@@ -21,7 +21,16 @@ type Exact struct {
 
 // NewExact indexes every defined function in funcs.
 func NewExact(funcs []*ir.Function) *Exact {
-	return &Exact{r: fingerprint.NewRanking(funcs)}
+	return restoreExact(funcs, nil)
+}
+
+// restoreExact is NewExact with optionally precomputed fingerprints;
+// only the functions prior does not cover count toward Stats.Built.
+func restoreExact(funcs []*ir.Function, prior map[*ir.Function]*fingerprint.Fingerprint) *Exact {
+	r, built := fingerprint.NewRankingWith(funcs, prior)
+	e := &Exact{r: r}
+	e.stats.Built = built
+	return e
 }
 
 // Order returns the functions sorted largest-first.
@@ -48,6 +57,9 @@ func (e *Exact) Add(f *ir.Function) {
 		return
 	}
 	e.r.Add(f)
+	e.mu.Lock()
+	e.stats.Built++
+	e.mu.Unlock()
 }
 
 // Remove drops f from future candidate lists.

@@ -68,6 +68,14 @@ func NewLSH(funcs []*ir.Function) *LSH { return NewLSHWithClasses(funcs, nil) }
 // NewLSHWithClasses is NewLSH with an optional class source for the
 // sketches (see NewWithClasses).
 func NewLSHWithClasses(funcs []*ir.Function, src ClassSource) *LSH {
+	return restoreLSH(funcs, src, nil)
+}
+
+// restoreLSH is the bulk constructor behind both NewLSH and
+// search.Restore: functions covered by prior adopt their snapshot
+// fingerprint and band keys, everything else is sketched from scratch
+// (and counted in Stats.Built).
+func restoreLSH(funcs []*ir.Function, src ClassSource, prior map[*ir.Function]FuncIndex) *LSH {
 	l := &LSH{
 		classes: src,
 		fps:     make(map[*ir.Function]*fingerprint.Fingerprint, len(funcs)),
@@ -84,11 +92,37 @@ func NewLSHWithClasses(funcs []*ir.Function, src ClassSource) *LSH {
 		if _, ok := l.fps[f]; ok {
 			continue // duplicate input entry
 		}
-		l.indexLocked(f)
+		if fi, ok := prior[f]; ok && fi.FP != nil && len(fi.Keys) == lshBands {
+			l.adoptLocked(f, fi.FP, fi.Keys)
+		} else {
+			l.indexLocked(f)
+		}
 		l.bySize = append(l.bySize, f)
 	}
 	sort.SliceStable(l.bySize, func(i, j int) bool { return l.sizeLess(l.bySize[i], l.bySize[j]) })
 	return l
+}
+
+// export copies the per-function index state for snapshotting.
+func (l *LSH) export() map[*ir.Function]FuncIndex {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make(map[*ir.Function]FuncIndex, len(l.fps))
+	for f, fp := range l.fps {
+		out[f] = FuncIndex{FP: fp, Keys: append([]uint64(nil), l.keys[f]...)}
+	}
+	return out
+}
+
+// adoptLocked installs a precomputed fingerprint and band-key set for f
+// without touching the function body; the caller maintains bySize.
+func (l *LSH) adoptLocked(f *ir.Function, fp *fingerprint.Fingerprint, keys []uint64) {
+	l.fps[f] = fp
+	l.keys[f] = keys
+	for b, k := range keys {
+		l.bands[b][k] = append(l.bands[b][k], f)
+	}
+	l.stats.Indexed++
 }
 
 // splitmix64 finalizer: the feature hash.
@@ -220,6 +254,7 @@ func (l *LSH) indexLocked(f *ir.Function) {
 		l.bands[b][k] = append(l.bands[b][k], f)
 	}
 	l.stats.Indexed++
+	l.stats.Built++
 }
 
 // Add (re-)indexes f incrementally (a sorted insertion into the size

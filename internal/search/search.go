@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fingerprint"
 	"repro/internal/ir"
 )
 
@@ -60,6 +61,12 @@ type Stats struct {
 	QueryTime time.Duration
 	// Indexed is the number of functions currently indexed.
 	Indexed int
+	// Built counts fingerprint (and, for LSH, sketch) computations the
+	// finder performed — construction plus every re-Add. A finder
+	// restored from a snapshot starts with Built equal to only the
+	// functions whose snapshot entries could not be reused, which is how
+	// warm restarts are asserted to skip the rebuild.
+	Built int
 }
 
 // AvgScanned returns the mean number of candidates scored per query.
@@ -129,4 +136,48 @@ func NewWithClasses(kind Kind, funcs []*ir.Function, src ClassSource) Finder {
 		return NewLSHWithClasses(funcs, src)
 	}
 	return NewExact(funcs)
+}
+
+// FuncIndex is one function's share of a finder's index: the fingerprint
+// and (for LSH) the band keys of its minhash sketch. It is what a
+// snapshot persists per function so a warm restart can skip recomputing
+// both.
+type FuncIndex struct {
+	FP   *fingerprint.Fingerprint
+	Keys []uint64 // LSH band keys; nil under KindExact
+}
+
+// Export returns the per-function index state of f, keyed by function.
+// Only the two concrete finders of this package are supported.
+func Export(f Finder) map[*ir.Function]FuncIndex {
+	switch f := f.(type) {
+	case *Exact:
+		fps := f.r.Fingerprints()
+		out := make(map[*ir.Function]FuncIndex, len(fps))
+		for fn, fp := range fps {
+			out[fn] = FuncIndex{FP: fp}
+		}
+		return out
+	case *LSH:
+		return f.export()
+	}
+	return nil
+}
+
+// Restore builds a Finder of the given kind over funcs, adopting the
+// fingerprints and sketches in prior instead of recomputing them;
+// functions without a prior entry (or with one lacking band keys when
+// kind is KindLSH) are indexed from scratch and counted in Stats.Built.
+// The caller is responsible for only passing prior entries that still
+// describe the function's current body — the driver checks structural
+// hashes before trusting a snapshot.
+func Restore(kind Kind, funcs []*ir.Function, src ClassSource, prior map[*ir.Function]FuncIndex) Finder {
+	if kind == KindLSH {
+		return restoreLSH(funcs, src, prior)
+	}
+	fps := make(map[*ir.Function]*fingerprint.Fingerprint, len(prior))
+	for fn, fi := range prior {
+		fps[fn] = fi.FP
+	}
+	return restoreExact(funcs, fps)
 }

@@ -1,0 +1,100 @@
+// Package api defines the wire format of the fmerged daemon: the JSON
+// request/response bodies exchanged over its /v1 HTTP surface. Both the
+// server (internal/serve) and the Go client (repro/client) build on
+// these types, so the contract lives in exactly one place. Module
+// payloads and deltas travel as the textual IR dialect
+// (ParseModule/SpliceModule); plans travel as repro.MergePlan's own
+// JSON encoding.
+package api
+
+import repro "repro"
+
+// CreateSession is the body of POST /v1/sessions. Module is the initial
+// module in textual IR; when empty the daemon restores the module (and
+// its index snapshot) persisted under the session's name by an earlier
+// Snapshot call — the warm-restart path. Option fields mirror the
+// Optimizer options; zero values mean the daemon defaults (SalSSA,
+// threshold 1, exact finder, no dup-fold, no families).
+type CreateSession struct {
+	Name      string `json:"name"`
+	Module    string `json:"module,omitempty"`
+	Algorithm string `json:"algorithm,omitempty"` // "SalSSA" | "SalSSA-NoPC"
+	Threshold int    `json:"threshold,omitempty"`
+	Finder    string `json:"finder,omitempty"` // "exact" | "lsh"
+	DupFold   bool   `json:"dup_fold,omitempty"`
+	MaxFamily int    `json:"max_family,omitempty"`
+	MinInstrs int    `json:"min_instrs,omitempty"`
+	// Parallelism is the planning worker count; 0 (the default) uses
+	// every CPU — the right default for a daemon, where planning
+	// latency is the serving bottleneck. Pass 1 to force serial
+	// planning.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Shards is the PlanSharded band count for this session's Plan
+	// calls; 0 inherits the daemon's -shards flag, 1 forces the exact
+	// single-walk Plan.
+	Shards int `json:"shards,omitempty"`
+}
+
+// SessionInfo describes one served session; returned by session
+// creation and GET /v1/sessions/{name}.
+type SessionInfo struct {
+	Name  string `json:"name"`
+	Funcs int    `json:"funcs"` // defined functions in the module
+	// Warm reports that the session was opened from a persisted index
+	// snapshot; Built is the finder's fingerprint/sketch-computation
+	// count since open (0 after a fully matching warm restart).
+	Warm  bool `json:"warm"`
+	Built int  `json:"built"`
+}
+
+// Update is the body of POST /v1/sessions/{name}/update: a textual-IR
+// fragment spliced into the module (SpliceModule semantics — functions
+// may be added or redefined in place, globals added). The functions the
+// fragment defines are re-indexed.
+type Update struct {
+	Fragment string `json:"fragment"`
+}
+
+// Updated is the update response: the functions the fragment defined,
+// in definition order.
+type Updated struct {
+	Funcs []string `json:"funcs"`
+}
+
+// Remove is the body of POST /v1/sessions/{name}/remove: the named
+// functions are dropped from the candidate set.
+type Remove struct {
+	Names []string `json:"names"`
+}
+
+// Report summarizes a committed run (apply or optimize) on the wire —
+// the subset of repro.Report a remote caller acts on.
+type Report struct {
+	Merges        int `json:"merges"`
+	Folds         int `json:"folds"`
+	BaselineBytes int `json:"baseline_bytes"`
+	FinalBytes    int `json:"final_bytes"`
+	OutcomeHits   int `json:"outcome_hits"`
+}
+
+// Plan aliases the engine's serializable merge plan; it crosses the
+// wire in its native JSON encoding so a plan from /plan feeds /apply
+// (or an offline audit) unchanged.
+type Plan = repro.MergePlan
+
+// ServerStats is the body of GET /v1/stats: live occupancy and
+// cumulative admission-control accounting.
+type ServerStats struct {
+	Sessions     int   `json:"sessions"`
+	Inflight     int   `json:"inflight"`
+	Ops          int64 `json:"ops"`
+	Rejected503  int64 `json:"rejected_503"`
+	Rejected429  int64 `json:"rejected_429"`
+	Conflicts409 int64 `json:"conflicts_409"`
+	WarmRestores int64 `json:"warm_restores"`
+}
+
+// Error is the JSON error envelope every non-2xx response carries.
+type Error struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,221 @@
+// Package serve is merge-as-a-service: a shardable HTTP daemon over
+// long-lived merge Sessions. Each named session owns one module and one
+// repro.Session; clients stream module deltas as textual IR, plan
+// merges (optionally sharded across fingerprint bands), and commit
+// plans with optimistic concurrency — a plan whose structural hashes no
+// longer match the module is rejected with 409 Conflict and the client
+// replans, so concurrent clients serialize through hash validation
+// rather than long-held locks.
+//
+// The daemon admits work through three gates: a global in-flight cap
+// (503 when the server is saturated), a per-client in-flight cap (429
+// for one greedy client), and a per-client function-count quota (429
+// when a client's sessions grow past its budget). Session index state
+// persists as a checksummed snapshot next to the module text, so a
+// restarted daemon serves its first Plan without rebuilding fingerprint
+// rankings or LSH buckets.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"sync/atomic"
+
+	repro "repro"
+	"repro/internal/serve/api"
+)
+
+// Config sizes the daemon's admission control and persistence.
+// Zero values select the documented defaults.
+type Config struct {
+	// MaxSessions caps the live sessions (default 64).
+	MaxSessions int
+	// MaxInflight caps concurrently executing requests across all
+	// clients; excess requests are rejected with 503 (default 256).
+	MaxInflight int
+	// MaxClientInflight caps concurrently executing requests per
+	// client, identified by the X-Client-ID header (falling back to the
+	// remote address); excess is rejected with 429 (default 32).
+	MaxClientInflight int
+	// MaxClientFuncs caps the total defined functions across one
+	// client's sessions — the index-memory quota. Session creation or
+	// an update that would exceed it is rejected with 429 (default
+	// 100000).
+	MaxClientFuncs int
+	// MaxBodyBytes caps a request body (default 64 MiB).
+	MaxBodyBytes int64
+	// SnapshotDir, when non-empty, enables persistence: POST
+	// /v1/sessions/{name}/snapshot writes the module text and index
+	// snapshot there, and session creation warm-restarts from it.
+	SnapshotDir string
+	// Shards is the default PlanSharded band count for /plan (<= 1
+	// plans with the exact single walk).
+	Shards int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.MaxClientInflight <= 0 {
+		c.MaxClientInflight = 32
+	}
+	if c.MaxClientFuncs <= 0 {
+		c.MaxClientFuncs = 100_000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the daemon state behind Handler. Create one with New; it
+// has no background goroutines of its own, so shutting down the
+// http.Server that carries it is a complete shutdown (call
+// SnapshotAll first to persist).
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*served
+	clients  map[string]*clientState
+
+	inflight     atomic.Int64
+	ops          atomic.Int64
+	rejected503  atomic.Int64
+	rejected429  atomic.Int64
+	conflicts409 atomic.Int64
+	warmRestores atomic.Int64
+}
+
+// served is one named session: the module, the engine over it, and a
+// mutex serializing every operation that touches either (module splices
+// must not interleave with engine walks).
+type served struct {
+	mu     sync.Mutex
+	name   string
+	owner  string // client that created it, for the function quota
+	m      *repro.Module
+	sess   *repro.Session
+	shards int
+	warm   bool
+	funcs  int // defined functions, maintained on update/remove
+}
+
+type clientState struct {
+	inflight int
+	funcs    int // defined functions across this client's sessions
+}
+
+// New builds a Server. The daemon is ready as soon as its Handler is
+// mounted; sessions appear on demand.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:      cfg.withDefaults(),
+		sessions: map[string]*served{},
+		clients:  map[string]*clientState{},
+	}
+}
+
+// sessionName constrains names to filesystem- and URL-safe tokens,
+// since they become snapshot file names.
+var sessionName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// Stats returns the daemon's live occupancy and cumulative accounting.
+func (s *Server) Stats() api.ServerStats {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	return api.ServerStats{
+		Sessions:     n,
+		Inflight:     int(s.inflight.Load()),
+		Ops:          s.ops.Load(),
+		Rejected503:  s.rejected503.Load(),
+		Rejected429:  s.rejected429.Load(),
+		Conflicts409: s.conflicts409.Load(),
+		WarmRestores: s.warmRestores.Load(),
+	}
+}
+
+// SnapshotAll persists every live session's module text and index
+// snapshot under SnapshotDir — the graceful-shutdown hook. Sessions
+// whose snapshot fails are reported together; the rest still persist.
+func (s *Server) SnapshotAll() error {
+	if s.cfg.SnapshotDir == "" {
+		return nil
+	}
+	s.mu.Lock()
+	all := make([]*served, 0, len(s.sessions))
+	for _, sv := range s.sessions {
+		all = append(all, sv)
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, sv := range all {
+		sv.mu.Lock()
+		err := s.persist(sv)
+		sv.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("serve: snapshot %q: %w", sv.name, err)
+		}
+	}
+	return firstErr
+}
+
+// Close closes every live session (without persisting; call SnapshotAll
+// first if that is wanted).
+func (s *Server) Close() {
+	s.mu.Lock()
+	all := make([]*served, 0, len(s.sessions))
+	for _, sv := range s.sessions {
+		all = append(all, sv)
+	}
+	s.sessions = map[string]*served{}
+	s.clients = map[string]*clientState{}
+	s.mu.Unlock()
+	for _, sv := range all {
+		sv.mu.Lock()
+		sv.sess.Close()
+		sv.mu.Unlock()
+	}
+}
+
+// modulePath / snapshotPath are the two files a persisted session owns.
+func (s *Server) modulePath(name string) string {
+	return filepath.Join(s.cfg.SnapshotDir, name+".ir")
+}
+
+func (s *Server) snapshotPath(name string) string {
+	return filepath.Join(s.cfg.SnapshotDir, name+".snap.json")
+}
+
+// persist writes the module text and the index snapshot for sv. Caller
+// holds sv.mu. The module text is written first: a module without a
+// snapshot cold-starts, a snapshot without its module is useless.
+func (s *Server) persist(sv *served) error {
+	if s.cfg.SnapshotDir == "" {
+		return fmt.Errorf("no snapshot directory configured")
+	}
+	if err := os.MkdirAll(s.cfg.SnapshotDir, 0o755); err != nil {
+		return err
+	}
+	snap, err := sv.sess.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(s.modulePath(sv.name), []byte(repro.FormatModule(sv.m)), 0o644); err != nil {
+		return err
+	}
+	data, err := json.Marshal(snap) // Snapshot() returns sealed values
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(s.snapshotPath(sv.name), data, 0o644)
+}

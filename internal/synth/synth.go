@@ -122,6 +122,20 @@ func sizeList(p Profile, rng *rand.Rand) []int {
 	return sizes
 }
 
+// SuiteProfile is the standard benchmark corpus shape — the
+// "sess2k"-style clone-heavy suite the Session benchmarks and the
+// fmerged load generator share, parameterized by function count and
+// seed so smoke tests can scale it down without drifting from the
+// benchmark's distribution.
+func SuiteProfile(funcs int, seed int64) Profile {
+	return Profile{
+		Name: "sess2k", Seed: seed, Funcs: funcs,
+		MinSize: 6, AvgSize: 40, MaxSize: 220,
+		CloneFrac: 0.4, FamilySize: 4, MutRate: 0.06,
+		Loops: 0.5, Switches: 0.4,
+	}
+}
+
 // Generate builds the synthetic module for p.
 func Generate(p Profile) *ir.Module {
 	rng := rand.New(rand.NewSource(p.Seed))

@@ -113,6 +113,18 @@ const (
 // ParseModule parses the textual IR dialect.
 func ParseModule(src string) (*Module, error) { return irtext.Parse(src) }
 
+// SpliceModule splices a textual IR fragment into a live module — the
+// wire format for streaming module deltas to a long-lived Session. The
+// fragment may add globals and functions and, unlike ParseModule,
+// redefine the body of an existing function; redefinition preserves
+// pointer identity, so call sites elsewhere in the module stay valid.
+// The whole fragment is validated first: on error the module is
+// untouched. It returns the names of the functions the fragment
+// defined, which is exactly the list to pass to Session.Update.
+func SpliceModule(m *Module, src string) ([]string, error) {
+	return irtext.ParseInto(m, src)
+}
+
 // FormatModule renders a module in the textual IR dialect.
 func FormatModule(m *Module) string { return m.String() }
 

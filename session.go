@@ -56,6 +56,23 @@ type PlannedMerge = driver.PlannedMerge
 // PlannedFold is one proposed duplicate fold within a MergePlan.
 type PlannedFold = driver.PlannedFold
 
+// SessionSnapshot is the serializable index state of a Session:
+// structural hashes, fingerprints, LSH sketches and the
+// unprofitable-pair memo, versioned and checksummed. Save one to disk
+// with encoding/json and a later process warm-restarts through
+// (*Optimizer).OpenWithSnapshot without rebuilding the indexes.
+type SessionSnapshot = driver.Snapshot
+
+// ErrUnknownFunction is wrapped by Session.Update and Session.Remove
+// when a name resolves to neither a module function nor an indexed
+// candidate. Test with errors.Is.
+var ErrUnknownFunction = driver.ErrUnknownFunction
+
+// ErrStalePlan is wrapped by Session.Apply when a plan's structural
+// hashes no longer match the module. Test with errors.Is; the standard
+// reaction is to Plan again and retry.
+var ErrStalePlan = driver.ErrStalePlan
+
 // Open builds a Session over m: every candidate and alignment index is
 // constructed here, once, and then maintained incrementally. Open never
 // mutates the module. The Optimizer stays reusable: any number of
@@ -66,6 +83,24 @@ func (o *Optimizer) Open(ctx context.Context, m *Module) (*Session, error) {
 		return nil, fmt.Errorf("repro: Open on nil module")
 	}
 	ds, err := driver.OpenSession(ctx, m, o.config())
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: ds}, nil
+}
+
+// OpenWithSnapshot is Open resuming from a SessionSnapshot taken by an
+// earlier Session over the same (persisted) module: every function
+// whose body still matches its snapshot hash adopts the recorded
+// fingerprint and sketch instead of being recomputed, so a warm restart
+// serves its first Plan without rebuilding the indexes. A snapshot that
+// fails validation — wrong version, corrupt, or taken under a different
+// configuration — is an error; callers typically fall back to Open.
+func (o *Optimizer) OpenWithSnapshot(ctx context.Context, m *Module, snap *SessionSnapshot) (*Session, error) {
+	if m == nil {
+		return nil, fmt.Errorf("repro: OpenWithSnapshot on nil module")
+	}
+	ds, err := driver.OpenSessionWithSnapshot(ctx, m, o.config(), snap)
 	if err != nil {
 		return nil, err
 	}
@@ -91,6 +126,33 @@ func (s *Session) Plan(ctx context.Context) (*MergePlan, error) {
 	return s.s.Plan(ctx)
 }
 
+// PlanSharded is Plan split into nshards fingerprint-size bands with a
+// cross-shard second stage: each band plans in isolation (in parallel,
+// over private module clones), then one more pass covers the candidates
+// no band consumed. The result is an ordinary MergePlan for Apply.
+// Sharded plans trade a little merge quality for parallel planning
+// latency and never flatten families; nshards <= 1 is exactly Plan.
+func (s *Session) PlanSharded(ctx context.Context, nshards int) (*MergePlan, error) {
+	return s.s.PlanSharded(ctx, nshards)
+}
+
+// Snapshot exports the session's index state — structural hashes,
+// fingerprints, sketches and the unprofitable-pair memo — as a
+// serializable, checksummed SessionSnapshot. Persist it alongside the
+// module text and a later process resumes through OpenWithSnapshot
+// without rebuilding the indexes. Requires a SalSSA variant.
+func (s *Session) Snapshot() (*SessionSnapshot, error) {
+	return s.s.Snapshot()
+}
+
+// SearchStats returns the candidate finder's cumulative accounting
+// since the session opened. Built counts fingerprint/sketch
+// computations: a session opened through OpenWithSnapshot from a fully
+// matching snapshot reports Built == 0.
+func (s *Session) SearchStats() (SearchStats, error) {
+	return s.s.SearchStats()
+}
+
 // Apply commits a plan — typically a possibly-filtered result of Plan —
 // against the module. Every referenced function is verified against the
 // plan's structural hash first; if the module changed underneath the
@@ -103,9 +165,11 @@ func (s *Session) Apply(ctx context.Context, plan *MergePlan) (*Report, error) {
 // Update re-indexes the named functions after the caller mutated them
 // (or added them to the module): only they are re-fingerprinted,
 // re-sketched and re-linearized, and only trial outcomes involving them
-// are forgotten. A name no longer defined in the module is treated as a
-// removal; a name the session has never indexed is harmless and
-// ignored, so callers can forward their whole edit log.
+// are forgotten. A name still present in the module but no longer
+// defined is treated as a removal. A name resolving to neither a module
+// function nor an indexed candidate fails with an error wrapping
+// ErrUnknownFunction, and the whole call is validated before anything
+// is marked — on error no name took effect.
 func (s *Session) Update(ctx context.Context, changed ...string) error {
 	return s.s.Update(ctx, changed...)
 }
@@ -113,7 +177,9 @@ func (s *Session) Update(ctx context.Context, changed ...string) error {
 // Remove drops the named functions from the candidate set, typically
 // after the caller deleted them from the module. A function that is
 // still defined simply stops being considered until a later Update
-// re-admits it; names the session never indexed are ignored.
+// re-admits it. A name resolving to neither an indexed candidate nor a
+// module function fails with an error wrapping ErrUnknownFunction; like
+// Update, the call validates every name before marking any.
 func (s *Session) Remove(ctx context.Context, names ...string) error {
 	return s.s.Remove(ctx, names...)
 }
