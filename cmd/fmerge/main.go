@@ -4,7 +4,7 @@
 //
 //	fmerge [-algo salssa|salssa-nopc|fmsa] [-t N] [-target x86-64|thumb]
 //	       [-linear-align] [-max-cells N] [-min-instrs N]
-//	       [-skip-hot f1,f2,...] [-finder exact|lsh] [-dup-fold]
+//	       [-skip-hot f1,f2,...] [-finder exact|lsh] [-dup-fold] [-canon]
 //	       [-max-family N] [-rounds N] [-jobs N]
 //	       [-cpuprofile f] [-memprofile f]
 //	       [-plan out.json | -apply plan.json]
@@ -51,6 +51,15 @@
 //	                large modules)
 //	-dup-fold       fold structurally identical functions into
 //	                forwarding thunks before any alignment runs
+//	-canon          index every function through a private canonical
+//	                view (mem2reg + CFG simplification + constant
+//	                folding + operand normalization + GVN): candidate
+//	                search sees through reducible noise between
+//	                near-clones, and -dup-fold widens to canonical
+//	                congruence with an interpreter check per fold.
+//	                Merges still rewrite the original bodies; without
+//	                the flag the pipeline is the historical one,
+//	                bit-for-bit. Ignored under -algo fmsa
 //	-max-family N   flatten merge chains into k-ary families of up to
 //	                N members (default 4): when a merged function finds
 //	                another profitable partner, the family's original
@@ -112,6 +121,7 @@ func main() {
 	skipHot := flag.String("skip-hot", "", "comma-separated functions excluded from merging")
 	finder := flag.String("finder", "exact", "candidate search: exact or lsh")
 	dupFold := flag.Bool("dup-fold", false, "fold structurally identical functions into thunks before alignment")
+	canonFlag := flag.Bool("canon", false, "index through canonical views (normalization + GVN); widens -dup-fold to semantic duplicates")
 	maxFamily := flag.Int("max-family", 4, "flatten merge chains into k-ary families of up to N members (2 = always nest pairwise)")
 	rounds := flag.Int("rounds", 1, "re-optimize each module up to N times through one session (0 = to fixpoint); chains form across rounds, so flattening needs N > 1")
 	jobs := flag.Int("jobs", 1, "parallel planning workers (0 = all CPUs)")
@@ -171,6 +181,7 @@ func main() {
 		repro.WithMinInstrs(*minInstrs),
 		repro.WithFinder(fk),
 		repro.WithDupFold(*dupFold),
+		repro.WithCanon(*canonFlag),
 		repro.WithMaxFamily(*maxFamily),
 		repro.WithParallelism(*jobs),
 	}

@@ -25,7 +25,12 @@ import (
 //
 // Only the session goroutine touches the cache.
 type candidateCache struct {
-	t     int
+	t int
+	// fpOf computes the fingerprint the radius checks compare in. It
+	// must match the space the finder's lists are ordered by: identity
+	// for plain sessions, through the canonical-view lens for canon
+	// sessions. Nil means fingerprint.New on the original body.
+	fpOf  func(*ir.Function) *fingerprint.Fingerprint
 	fps   map[*ir.Function]*fingerprint.Fingerprint
 	lists map[*ir.Function][]*ir.Function
 	// radius is the worst member distance of a full list; -1 marks an
@@ -35,9 +40,10 @@ type candidateCache struct {
 	member map[*ir.Function]map[*ir.Function]bool
 }
 
-func newCandidateCache(t int) *candidateCache {
+func newCandidateCache(t int, fpOf func(*ir.Function) *fingerprint.Fingerprint) *candidateCache {
 	return &candidateCache{
 		t:      t,
+		fpOf:   fpOf,
 		fps:    map[*ir.Function]*fingerprint.Fingerprint{},
 		lists:  map[*ir.Function][]*ir.Function{},
 		radius: map[*ir.Function]int32{},
@@ -52,10 +58,17 @@ func newCandidateCache(t int) *candidateCache {
 func (c *candidateCache) fp(f *ir.Function) *fingerprint.Fingerprint {
 	v := c.fps[f]
 	if v == nil {
-		v = fingerprint.New(f)
+		v = c.newFP(f)
 		c.fps[f] = v
 	}
 	return v
+}
+
+func (c *candidateCache) newFP(f *ir.Function) *fingerprint.Fingerprint {
+	if c.fpOf != nil {
+		return c.fpOf(f)
+	}
+	return fingerprint.New(f)
 }
 
 // get returns the cached list for f, if still valid.
@@ -134,7 +147,7 @@ func (c *candidateCache) applyDelta(changed, removed []*ir.Function) {
 	var moved []*ir.Function
 	for _, d := range changed {
 		old := c.fps[d]
-		fresh := fingerprint.New(d)
+		fresh := c.newFP(d)
 		if old != nil && *old == *fresh {
 			continue
 		}

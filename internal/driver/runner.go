@@ -5,7 +5,9 @@ import (
 	"fmt"
 
 	"repro/internal/align"
+	"repro/internal/canon"
 	"repro/internal/costmodel"
+	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/search"
 )
@@ -32,6 +34,10 @@ type runner struct {
 	// fingerprint-radius invalidation keeps every served list exactly
 	// what the finder would return.
 	cands *candidateCache
+	// lens, when non-nil, is the session's canonical-view layer: the
+	// finder already indexes through it, and foldStep widens duplicate
+	// folding from syntactic identity to canonical congruence.
+	lens  *canon.Lens
 	sizes map[*ir.Function]int
 	// outcomes, when non-nil, memoizes unprofitable pairs across runs;
 	// pairs found there skip alignment and codegen entirely.
@@ -94,7 +100,7 @@ func (r *runner) candidates(f *ir.Function, t int) []*ir.Function {
 // retire takes f out of play the moment a commit or fold rewrites its
 // body; see retireIndexes for the rule.
 func (r *runner) retire(f *ir.Function) {
-	retireIndexes(r.finder, r.cands, r.cache, r.markPending, f)
+	retireIndexes(r.finder, r.cands, r.cache, r.lens, r.markPending, f)
 }
 
 // mergedName picks the collision-free name for merging f1 and f2,
@@ -117,7 +123,11 @@ func (r *runner) mergedName(f1, f2 *ir.Function) string {
 // stays a candidate. Families follow candidate (module definition)
 // order, keeping folding deterministic at any parallelism.
 func (r *runner) foldStep(candidates []*ir.Function) {
-	for _, fam := range search.Families(candidates) {
+	fams := search.Families(candidates)
+	if r.lens != nil {
+		fams = search.FamiliesBy(candidates, r.lens.Hash, r.canonEqual)
+	}
+	for _, fam := range fams {
 		rep := fam[0]
 		for _, dup := range fam[1:] {
 			profit := r.sizes[dup] - costmodel.ForwarderBytes(r.cfg.Target, len(dup.Params()))
@@ -137,6 +147,42 @@ func (r *runner) foldStep(candidates []*ir.Function) {
 			r.res.Folds = append(r.res.Folds, FoldRecord{Dup: dup.Name(), Rep: rep.Name(), Profit: profit})
 		}
 	}
+}
+
+// canonEqual is the duplicate-fold equivalence of canonical-view
+// sessions: the two canonical views must be structurally identical (GVN
+// congruence — commuted operands, unfolded constants, redundant memory
+// traffic and spurious blocks all canonicalize away), and, because the
+// fold rewrites the ORIGINAL duplicate into a forwarder, a pair whose
+// originals are not already syntactically identical must additionally
+// pass an interpreter differential before it is trusted. Canonical
+// congruence is sound by construction; the interp check is a cheap
+// independent witness that the originals really do agree observably.
+func (r *runner) canonEqual(a, b *ir.Function) bool {
+	if !search.EqualFunctions(r.lens.Body(a), r.lens.Body(b)) {
+		return false
+	}
+	if search.EqualFunctions(a, b) {
+		return true
+	}
+	return interpEquivalent(a, b)
+}
+
+// interpEquivalent runs a and b on a spread of deterministic argument
+// seeds and compares outcomes (return value, termination, observable
+// trace). Functions the interpreter cannot execute (unsupported ops,
+// required externals) yield matching error outcomes only when both fail
+// identically, so unsupported pairs are rejected rather than folded.
+func interpEquivalent(a, b *ir.Function) bool {
+	proto := interp.NewEnv()
+	for seed := int64(1); seed <= 5; seed++ {
+		oa := interp.Run(proto, a, interp.ArgsFor(a, seed))
+		ob := interp.Run(proto, b, interp.ArgsFor(b, seed))
+		if same, _ := interp.SameBehavior(oa, ob); !same {
+			return false
+		}
+	}
+	return true
 }
 
 // walk runs the planning stage and the greedy commit walk over the

@@ -36,7 +36,9 @@ import (
 	"time"
 
 	"repro/internal/align"
+	"repro/internal/canon"
 	"repro/internal/costmodel"
+	"repro/internal/fingerprint"
 	"repro/internal/fmsa"
 	"repro/internal/ir"
 	"repro/internal/search"
@@ -69,9 +71,15 @@ type Session struct {
 	// Persistent indexes (nil for FMSA sessions, which rebuild their
 	// state inside every Optimize because register demotion rewrites
 	// the whole module around each run).
-	cache   *align.Cache
-	finder  search.Finder
-	cands   *candidateCache
+	cache  *align.Cache
+	finder search.Finder
+	cands  *candidateCache
+	// lens is the canonical-view layer (nil when Config.Canon is
+	// disabled): every discovery index — fingerprints, sketches,
+	// duplicate-fold hashes — is computed over lens.Body(f) instead of f,
+	// while merges and folds still commit against the originals. Views
+	// are invalidated whenever the underlying body is.
+	lens    *canon.Lens
 	sizes   map[*ir.Function]int
 	indexed map[*ir.Function]bool
 	byName  map[string]*ir.Function
@@ -130,18 +138,54 @@ func (s *Session) eligible(f *ir.Function) bool {
 	return f.NumInstrs() >= s.cfg.MinInstrs && !s.cfg.SkipHot[f.Name()]
 }
 
-// buildIndexes constructs the persistent index layers from scratch.
-func (s *Session) buildIndexes() {
+// initIndexLayers constructs the empty persistent index layers shared by
+// the cold build and the snapshot warm restart: the align cache, the
+// canonical-view lens (wired to drop a discarded view's cache entry),
+// the membership/size maps, the outcome memo and the candidate-list
+// cache (fingerprinting through the lens so its radius checks live in
+// the same space as the finder's lists).
+func (s *Session) initIndexLayers() {
 	s.cache = align.NewCache()
+	s.lens = canon.NewLens(s.cfg.Canon, search.HashFunction)
+	if s.lens != nil {
+		cache := s.cache
+		s.lens.DropHook = func(view *ir.Function) { cache.Invalidate(view) }
+	}
 	s.sizes = map[*ir.Function]int{}
 	s.indexed = map[*ir.Function]bool{}
 	s.byName = map[string]*ir.Function{}
 	s.nameOf = map[*ir.Function]string{}
 	s.outcomes = newOutcomeCache()
-	s.cands = newCandidateCache(s.cfg.Threshold)
+	s.cands = newCandidateCache(s.cfg.Threshold, s.canonFP())
 	if s.cfg.MaxFamily >= 3 {
 		s.families = newFamilySet()
 	}
+}
+
+// canonFP returns the fingerprint function the candidate cache should
+// use: through the lens under canon, nil (original bodies) otherwise.
+func (s *Session) canonFP() func(*ir.Function) *fingerprint.Fingerprint {
+	if s.lens == nil {
+		return nil
+	}
+	lens := s.lens
+	return func(f *ir.Function) *fingerprint.Fingerprint {
+		return fingerprint.New(lens.Body(f))
+	}
+}
+
+// bodySource adapts the lens to search.BodySource, avoiding the typed
+// nil-interface trap when canon is off.
+func (s *Session) bodySource() search.BodySource {
+	if s.lens == nil {
+		return nil
+	}
+	return s.lens
+}
+
+// buildIndexes constructs the persistent index layers from scratch.
+func (s *Session) buildIndexes() {
+	s.initIndexLayers()
 	var candidates []*ir.Function
 	for _, f := range s.m.Defined() {
 		if !s.eligible(f) {
@@ -150,7 +194,7 @@ func (s *Session) buildIndexes() {
 		candidates = append(candidates, f)
 		s.index(f)
 	}
-	s.finder = search.NewWithClasses(s.cfg.Finder, candidates, s.cache)
+	s.finder = search.NewIndexed(s.cfg.Finder, candidates, s.cache, s.bodySource())
 	s.lastSearch, s.lastCache = search.Stats{}, align.CacheStats{}
 }
 
@@ -174,20 +218,21 @@ func (s *Session) index(f *ir.Function) {
 // retire takes f out of play the moment its body is rewritten by a
 // commit or fold; see retireIndexes for the rule.
 func (s *Session) retire(f *ir.Function) {
-	retireIndexes(s.finder, s.cands, s.cache, s.markPending, f)
+	retireIndexes(s.finder, s.cands, s.cache, s.lens, s.markPending, f)
 }
 
 // retireIndexes is the session's single index-invalidation rule for a
 // function whose body a commit or fold just rewrote: out of the finder
 // and the candidate-list cache, its cached linearization invalidated
-// (it would pin the dead instructions), and — when an owning session
-// exists — scheduled for re-indexing at the next sync. Session.retire
-// and runner.retire both delegate here so Apply and the walk can never
-// diverge on the rule.
-func retireIndexes(finder search.Finder, cands *candidateCache, cache *align.Cache, markPending func(*ir.Function), f *ir.Function) {
+// (it would pin the dead instructions), its canonical view dropped, and
+// — when an owning session exists — scheduled for re-indexing at the
+// next sync. Session.retire and runner.retire both delegate here so
+// Apply and the walk can never diverge on the rule.
+func retireIndexes(finder search.Finder, cands *candidateCache, cache *align.Cache, lens *canon.Lens, markPending func(*ir.Function), f *ir.Function) {
 	finder.Remove(f)
 	cands.remove(f)
 	cache.Invalidate(f)
+	lens.Invalidate(f)
 	if markPending != nil {
 		markPending(f)
 	}
@@ -198,6 +243,7 @@ func retireIndexes(finder search.Finder, cands *candidateCache, cache *align.Cac
 func (s *Session) unindex(f *ir.Function) {
 	s.outcomes.invalidate(f)
 	s.cache.Invalidate(f)
+	s.lens.Invalidate(f)
 	if s.families != nil {
 		s.families.drop(f)
 	}
@@ -248,6 +294,10 @@ func (s *Session) sync() {
 		}
 		s.outcomes.invalidate(f)
 		s.cache.Invalidate(f)
+		// The view must be dropped before the finder re-indexes: Add
+		// fingerprints/sketches through the lens, so a stale view here
+		// would silently re-index the pre-edit body.
+		s.lens.Invalidate(f)
 		s.finder.Add(f)
 		s.index(f)
 		changed = append(changed, f)
@@ -324,6 +374,7 @@ func (s *Session) Close() error {
 	s.cache = nil
 	s.finder = nil
 	s.cands = nil
+	s.lens = nil
 	s.sizes = nil
 	s.indexed = nil
 	s.byName = nil
@@ -465,7 +516,7 @@ func (s *Session) Optimize(ctx context.Context) (*Result, error) {
 	s.sync()
 	r := &runner{
 		m: s.m, cfg: s.cfg, cache: s.cache, finder: s.finder,
-		cands: s.cands, sizes: s.sizes, outcomes: s.outcomes,
+		cands: s.cands, lens: s.lens, sizes: s.sizes, outcomes: s.outcomes,
 		families: s.families, commitMode: true,
 		runID: newRunID(), res: res, progress: s.cfg.progressFn(),
 		markPending: s.markPending,
@@ -566,7 +617,7 @@ func (s *Session) Plan(ctx context.Context) (*Plan, error) {
 	s.sync()
 	r := &runner{
 		m: s.m, cfg: s.cfg, cache: s.cache, finder: s.finder,
-		cands: s.cands, sizes: s.sizes, outcomes: s.outcomes,
+		cands: s.cands, lens: s.lens, sizes: s.sizes, outcomes: s.outcomes,
 		families: s.families, commitMode: false,
 		runID: newRunID(), res: res, progress: s.cfg.progressFn(),
 		plan: &Plan{

@@ -34,8 +34,10 @@ import (
 )
 
 // SnapshotVersion is the current snapshot format version; snapshots
-// recording any other version are rejected.
-const SnapshotVersion = 1
+// recording any other version are rejected. Version 2 added the
+// canonical-view guard (Snapshot.Canon) and per-function canonical
+// hashes (SnapshotFunc.CanonHash).
+const SnapshotVersion = 2
 
 // Snapshot is the serializable index state of a Session. It round-trips
 // through encoding/json.
@@ -51,6 +53,12 @@ type Snapshot struct {
 	DupFold   bool   `json:"dup_fold"`
 	MaxFamily int    `json:"max_family"`
 	MinInstrs int    `json:"min_instrs"`
+	// Canon names the canonicalization pipeline the indexes were computed
+	// under ("" when canon was off). Fingerprints, sketches and canonical
+	// hashes from one pipeline must never seed a session running another:
+	// the two hash spaces are unrelated, so a mismatch is a hard
+	// rejection, not a per-function drift.
+	Canon string `json:"canon,omitempty"`
 
 	Funcs []SnapshotFunc `json:"funcs"`
 	// Outcomes lists the memoized-unprofitable pairs as index pairs
@@ -72,6 +80,11 @@ type SnapshotFunc struct {
 	Ops []int32 `json:"ops"`
 	// Keys holds the LSH band keys in hex; empty under the exact finder.
 	Keys []string `json:"keys,omitempty"`
+	// CanonHash is the structural hash of the function's canonical view
+	// (0 when canon was off). A warm restart primes the session's lens
+	// with it so duplicate-fold bucketing works without building a single
+	// view; views are then only materialized inside hash-equal buckets.
+	CanonHash uint64 `json:"canon_hash,string,omitempty"`
 }
 
 // fnv1a64 matches the search package's FNV-1a parameters.
@@ -130,6 +143,7 @@ func (s *Session) Snapshot() (*Snapshot, error) {
 		DupFold:   s.cfg.DupFold,
 		MaxFamily: s.cfg.MaxFamily,
 		MinInstrs: s.cfg.MinInstrs,
+		Canon:     s.cfg.Canon.String(),
 	}
 	idx := search.Export(s.finder)
 	pos := make(map[*ir.Function]int, len(idx))
@@ -143,6 +157,9 @@ func (s *Session) Snapshot() (*Snapshot, error) {
 			Hash:   search.HashFunction(f),
 			Blocks: fi.FP.Blocks,
 			Size:   fi.FP.Size,
+		}
+		if s.lens != nil {
+			entry.CanonHash = s.lens.Hash(f)
 		}
 		for op, c := range fi.FP.OpCount {
 			if c != 0 {
@@ -216,6 +233,8 @@ func validateSnapshot(snap *Snapshot, cfg Config) error {
 		return fmt.Errorf("driver: snapshot max-family %d, session %d", snap.MaxFamily, cfg.MaxFamily)
 	case snap.MinInstrs != cfg.MinInstrs:
 		return fmt.Errorf("driver: snapshot min-instrs %d, session %d", snap.MinInstrs, cfg.MinInstrs)
+	case snap.Canon != cfg.Canon.String():
+		return fmt.Errorf("driver: snapshot canon pipeline %q, session %q", snap.Canon, cfg.Canon.String())
 	}
 	return nil
 }
@@ -248,16 +267,7 @@ func OpenSessionWithSnapshot(ctx context.Context, m *ir.Module, cfg Config, snap
 
 // buildIndexesFrom is buildIndexes seeded by a validated snapshot.
 func (s *Session) buildIndexesFrom(snap *Snapshot) {
-	s.cache = align.NewCache()
-	s.sizes = map[*ir.Function]int{}
-	s.indexed = map[*ir.Function]bool{}
-	s.byName = map[string]*ir.Function{}
-	s.nameOf = map[*ir.Function]string{}
-	s.outcomes = newOutcomeCache()
-	s.cands = newCandidateCache(s.cfg.Threshold)
-	if s.cfg.MaxFamily >= 3 {
-		s.families = newFamilySet()
-	}
+	s.initIndexLayers()
 	// matched[i] is the live function whose current structural hash
 	// equals snap.Funcs[i].Hash, or nil.
 	matched := make([]*ir.Function, len(snap.Funcs))
@@ -305,8 +315,14 @@ func (s *Session) buildIndexesFrom(snap *Snapshot) {
 		}
 		matched[i] = f
 		prior[f] = search.FuncIndex{FP: fp, Keys: keys}
+		if s.lens != nil && sf.CanonHash != 0 {
+			// The original body is hash-identical to snapshot time, so the
+			// recorded canonical hash is still its view's hash: prime it and
+			// the warm restart builds zero views up front.
+			s.lens.Prime(f, sf.CanonHash)
+		}
 	}
-	s.finder = search.Restore(s.cfg.Finder, candidates, s.cache, prior)
+	s.finder = search.RestoreIndexed(s.cfg.Finder, candidates, s.cache, s.bodySource(), prior)
 	for _, pair := range snap.Outcomes {
 		i1, i2 := pair[0], pair[1]
 		if i1 < 0 || i1 >= len(matched) || i2 < 0 || i2 >= len(matched) {

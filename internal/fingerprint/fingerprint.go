@@ -88,6 +88,10 @@ type Ranking struct {
 	// linear rescan of the candidate list per re-Add.
 	present map[*ir.Function]bool
 	fps     map[*ir.Function]*Fingerprint
+	// body, when set, maps a function to the body that is actually
+	// fingerprinted in its stead — the canonical-view indexing hook. The
+	// ranking still keys everything by the original *ir.Function.
+	body func(*ir.Function) *ir.Function
 }
 
 // NewRanking fingerprints every defined function in the list. Duplicate
@@ -102,9 +106,18 @@ func NewRanking(funcs []*ir.Function) *Ranking {
 // re-fingerprinted (the snapshot warm-restart path). It returns the
 // ranking and the number of fingerprints actually computed.
 func NewRankingWith(funcs []*ir.Function, prior map[*ir.Function]*Fingerprint) (*Ranking, int) {
+	return NewRankingIndexed(funcs, nil, prior)
+}
+
+// NewRankingIndexed is NewRankingWith fingerprinting body(f) in place of
+// each function f (nil body means f itself) — the lens through which
+// canonical-view sessions index. Candidate identity, ordering and
+// removal still operate on the original functions.
+func NewRankingIndexed(funcs []*ir.Function, body func(*ir.Function) *ir.Function, prior map[*ir.Function]*Fingerprint) (*Ranking, int) {
 	r := &Ranking{
 		present: make(map[*ir.Function]bool, len(funcs)),
 		fps:     make(map[*ir.Function]*Fingerprint, len(funcs)),
+		body:    body,
 	}
 	built := 0
 	for _, f := range funcs {
@@ -119,7 +132,7 @@ func NewRankingWith(funcs []*ir.Function, prior map[*ir.Function]*Fingerprint) (
 		if fp := prior[f]; fp != nil {
 			r.fps[f] = fp
 		} else {
-			r.fps[f] = New(f)
+			r.fps[f] = New(r.bodyOf(f))
 			built++
 		}
 	}
@@ -161,7 +174,15 @@ func (r *Ranking) Add(f *ir.Function) {
 		r.present[f] = true
 		r.funcs = append(r.funcs, f)
 	}
-	r.fps[f] = New(f)
+	r.fps[f] = New(r.bodyOf(f))
+}
+
+// bodyOf resolves the body fingerprinted for f.
+func (r *Ranking) bodyOf(f *ir.Function) *ir.Function {
+	if r.body == nil {
+		return f
+	}
+	return r.body(f)
 }
 
 // Candidates returns up to t candidate partners for f, most similar

@@ -21,13 +21,18 @@ type Exact struct {
 
 // NewExact indexes every defined function in funcs.
 func NewExact(funcs []*ir.Function) *Exact {
-	return restoreExact(funcs, nil)
+	return restoreExact(funcs, nil, nil)
 }
 
-// restoreExact is NewExact with optionally precomputed fingerprints;
-// only the functions prior does not cover count toward Stats.Built.
-func restoreExact(funcs []*ir.Function, prior map[*ir.Function]*fingerprint.Fingerprint) *Exact {
-	r, built := fingerprint.NewRankingWith(funcs, prior)
+// restoreExact is NewExact with an optional BodySource lens and
+// optionally precomputed fingerprints; only the functions prior does not
+// cover count toward Stats.Built.
+func restoreExact(funcs []*ir.Function, view BodySource, prior map[*ir.Function]*fingerprint.Fingerprint) *Exact {
+	var body func(*ir.Function) *ir.Function
+	if view != nil {
+		body = view.IndexBody
+	}
+	r, built := fingerprint.NewRankingIndexed(funcs, body, prior)
 	e := &Exact{r: r}
 	e.stats.Built = built
 	return e

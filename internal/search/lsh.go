@@ -47,6 +47,10 @@ type LSH struct {
 	// vectors and the sketches are built over class bigrams instead of
 	// opcode bigrams (see NewWithClasses).
 	classes ClassSource
+	// view, when non-nil, resolves the body actually fingerprinted and
+	// sketched for each function (see NewIndexed); the maps, buckets and
+	// size list stay keyed by the original function.
+	view BodySource
 
 	mu    sync.RWMutex
 	fps   map[*ir.Function]*fingerprint.Fingerprint
@@ -68,16 +72,17 @@ func NewLSH(funcs []*ir.Function) *LSH { return NewLSHWithClasses(funcs, nil) }
 // NewLSHWithClasses is NewLSH with an optional class source for the
 // sketches (see NewWithClasses).
 func NewLSHWithClasses(funcs []*ir.Function, src ClassSource) *LSH {
-	return restoreLSH(funcs, src, nil)
+	return newLSH(funcs, src, nil, nil)
 }
 
-// restoreLSH is the bulk constructor behind both NewLSH and
-// search.Restore: functions covered by prior adopt their snapshot
+// newLSH is the bulk constructor behind NewLSH, search.NewIndexed and
+// search.RestoreIndexed: functions covered by prior adopt their snapshot
 // fingerprint and band keys, everything else is sketched from scratch
-// (and counted in Stats.Built).
-func restoreLSH(funcs []*ir.Function, src ClassSource, prior map[*ir.Function]FuncIndex) *LSH {
+// (and counted in Stats.Built) — through the view lens when one is set.
+func newLSH(funcs []*ir.Function, src ClassSource, view BodySource, prior map[*ir.Function]FuncIndex) *LSH {
 	l := &LSH{
 		classes: src,
+		view:    view,
 		fps:     make(map[*ir.Function]*fingerprint.Fingerprint, len(funcs)),
 		keys:    make(map[*ir.Function][]uint64, len(funcs)),
 		bands:   make([]map[uint64][]*ir.Function, lshBands),
@@ -243,12 +248,17 @@ func (l *LSH) sizeLess(a, b *ir.Function) bool {
 	return a.Name() < b.Name()
 }
 
-// indexLocked fingerprints and sketches f into the maps and band
-// buckets; the caller maintains bySize.
+// indexLocked fingerprints and sketches f — through the view lens when
+// one is set — into the maps and band buckets; the caller maintains
+// bySize.
 func (l *LSH) indexLocked(f *ir.Function) {
-	fp := fingerprint.New(f)
+	body := f
+	if l.view != nil {
+		body = l.view.IndexBody(f)
+	}
+	fp := fingerprint.New(body)
 	l.fps[f] = fp
-	keys := l.sketch(f)
+	keys := l.sketch(body)
 	l.keys[f] = keys
 	for b, k := range keys {
 		l.bands[b][k] = append(l.bands[b][k], f)

@@ -132,10 +132,29 @@ type ClassSource interface {
 // the exact fingerprint top-t either way — sketches only seed the
 // branch-and-bound — so the committed merge set does not depend on src.
 func NewWithClasses(kind Kind, funcs []*ir.Function, src ClassSource) Finder {
+	return NewIndexed(kind, funcs, src, nil)
+}
+
+// BodySource resolves the body a finder actually indexes for a
+// function — the canonical-view lens. IndexBody(f) must be
+// deterministic for an unchanged f; the driver's canon.Lens implements
+// it by memoizing canonical views. A nil BodySource indexes original
+// bodies.
+type BodySource interface {
+	IndexBody(f *ir.Function) *ir.Function
+}
+
+// NewIndexed is NewWithClasses with an optional BodySource: fingerprints
+// and sketches are computed over view.IndexBody(f) while candidate
+// identity, ordering and removal stay keyed by the original f. This is
+// how canonical-view sessions make reducible noise (redundant memory
+// traffic, unfolded constants, commuted operands, spurious blocks)
+// invisible to discovery.
+func NewIndexed(kind Kind, funcs []*ir.Function, src ClassSource, view BodySource) Finder {
 	if kind == KindLSH {
-		return NewLSHWithClasses(funcs, src)
+		return newLSH(funcs, src, view, nil)
 	}
-	return NewExact(funcs)
+	return restoreExact(funcs, view, nil)
 }
 
 // FuncIndex is one function's share of a finder's index: the fingerprint
@@ -172,12 +191,21 @@ func Export(f Finder) map[*ir.Function]FuncIndex {
 // describe the function's current body — the driver checks structural
 // hashes before trusting a snapshot.
 func Restore(kind Kind, funcs []*ir.Function, src ClassSource, prior map[*ir.Function]FuncIndex) Finder {
+	return RestoreIndexed(kind, funcs, src, nil, prior)
+}
+
+// RestoreIndexed is Restore through a BodySource lens (see NewIndexed):
+// adopted prior entries must have been computed under the same lens
+// configuration — the driver's snapshot carries the canon config as a
+// validation guard precisely so restored sketches and freshly indexed
+// views share one hash space.
+func RestoreIndexed(kind Kind, funcs []*ir.Function, src ClassSource, view BodySource, prior map[*ir.Function]FuncIndex) Finder {
 	if kind == KindLSH {
-		return restoreLSH(funcs, src, prior)
+		return newLSH(funcs, src, view, prior)
 	}
 	fps := make(map[*ir.Function]*fingerprint.Fingerprint, len(prior))
 	for fn, fi := range prior {
 		fps[fn] = fi.FP
 	}
-	return restoreExact(funcs, fps)
+	return restoreExact(funcs, view, fps)
 }

@@ -22,8 +22,14 @@ type CreateSession struct {
 	Threshold int    `json:"threshold,omitempty"`
 	Finder    string `json:"finder,omitempty"` // "exact" | "lsh"
 	DupFold   bool   `json:"dup_fold,omitempty"`
-	MaxFamily int    `json:"max_family,omitempty"`
-	MinInstrs int    `json:"min_instrs,omitempty"`
+	// Canon indexes the session's functions through canonical views
+	// (normalization + GVN): near-clone noise becomes invisible to
+	// candidate search and DupFold widens to semantic duplicates. A
+	// session's snapshots record the canon pipeline, so a warm restart
+	// must request the same Canon value or the restore is rejected.
+	Canon     bool `json:"canon,omitempty"`
+	MaxFamily int  `json:"max_family,omitempty"`
+	MinInstrs int  `json:"min_instrs,omitempty"`
 	// Parallelism is the planning worker count; 0 (the default) uses
 	// every CPU — the right default for a daemon, where planning
 	// latency is the serving bottleneck. Pass 1 to force serial

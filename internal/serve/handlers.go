@@ -177,6 +177,7 @@ func buildOptimizer(req *api.CreateSession, shards int) (*repro.Optimizer, error
 	// 0 means all CPUs (WithParallelism's own convention).
 	opts = append(opts, repro.WithParallelism(req.Parallelism))
 	opts = append(opts, repro.WithDupFold(req.DupFold))
+	opts = append(opts, repro.WithCanon(req.Canon))
 	_ = shards // recorded on the served session, not an Optimizer option
 	return repro.New(opts...)
 }
