@@ -52,6 +52,9 @@ type (
 	Report = api.Report
 	// ServerStats is the daemon's occupancy and admission accounting.
 	ServerStats = api.ServerStats
+	// Health is the daemon's health summary; Degraded means at least
+	// one session is quarantined.
+	Health = api.Health
 )
 
 // StatusError is the decoded non-2xx response: the HTTP status code
@@ -152,6 +155,14 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 // Healthz checks daemon liveness.
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// Health fetches the daemon's health summary: OK when no session is
+// quarantined, Degraded (with the count) otherwise.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h)
+	return h, err
 }
 
 // Stats fetches the daemon's live stats.

@@ -1,0 +1,97 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"time"
+)
+
+// RetryPolicy retries throttled and conflicted calls with capped
+// exponential backoff plus full jitter. The zero value is usable and
+// selects the documented defaults; DefaultRetry is that value.
+//
+// The policy retries exactly the transient daemon vocabulary: 409
+// (stale plan — the caller's Retryable hook usually replans first),
+// 429 (per-client quota) and 503 (server saturation). Hard errors —
+// 4xx mistakes, 500s, transport failures — surface immediately.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries, first call included
+	// (default 6).
+	MaxAttempts int
+	// BaseDelay seeds the exponential schedule: attempt n sleeps a
+	// uniformly random duration in (0, BaseDelay*2^n], capped at
+	// MaxDelay (default 5ms).
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff sleep (default 500ms).
+	MaxDelay time.Duration
+	// Retryable, when non-nil, overrides the default retry predicate
+	// (IsThrottled or IsConflict).
+	Retryable func(error) bool
+	// OnBackoff, when non-nil, observes each scheduled retry: the
+	// attempt number (1-based), the error that caused it, and the sleep
+	// chosen. Load generators hook this to count backoffs.
+	OnBackoff func(attempt int, err error, sleep time.Duration)
+}
+
+// DefaultRetry is the zero RetryPolicy: 6 attempts, 5ms base, 500ms
+// cap, retrying 409/429/503.
+var DefaultRetry = RetryPolicy{}
+
+// Do runs fn until it succeeds, exhausts MaxAttempts, hits a
+// non-retryable error, or ctx is done. The last error is returned; a
+// context cancellation mid-backoff returns the context's error joined
+// with the error being retried.
+func (p RetryPolicy) Do(ctx context.Context, fn func() error) error {
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = 6
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	maxDelay := p.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 500 * time.Millisecond
+	}
+	retryable := p.Retryable
+	if retryable == nil {
+		retryable = func(err error) bool { return IsThrottled(err) || IsConflict(err) }
+	}
+
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil || attempt >= attempts || !retryable(err) {
+			return err
+		}
+		// Full jitter: a uniform draw over (0, min(cap, base<<attempt)]
+		// decorrelates clients that were rejected together — the thundering
+		// herd that caused the 429/503 must not reconverge on the retry.
+		ceil := base << (attempt - 1)
+		if ceil > maxDelay || ceil <= 0 {
+			ceil = maxDelay
+		}
+		sleep := time.Duration(rand.Int64N(int64(ceil))) + 1
+		if p.OnBackoff != nil {
+			p.OnBackoff(attempt, err, sleep)
+		}
+		select {
+		case <-ctx.Done():
+			return errors.Join(ctx.Err(), err)
+		case <-time.After(sleep):
+		}
+	}
+}
+
+// Retry runs fn under DefaultRetry — the one-liner for callers that
+// just want 409/429/503 absorbed:
+//
+//	err := client.Retry(ctx, func() error {
+//	    _, err := sc.Update(ctx, fragment)
+//	    return err
+//	})
+func Retry(ctx context.Context, fn func() error) error {
+	return DefaultRetry.Do(ctx, fn)
+}

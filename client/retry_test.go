@@ -1,0 +1,136 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func throttled() error { return &StatusError{Code: http.StatusServiceUnavailable, Message: "full"} }
+
+// TestRetryEventualSuccess: transient 503s are absorbed; the call
+// succeeds once the daemon admits it, and every backoff was observed
+// with a positive, capped sleep.
+func TestRetryEventualSuccess(t *testing.T) {
+	var sleeps []time.Duration
+	p := RetryPolicy{
+		BaseDelay: time.Microsecond,
+		MaxDelay:  time.Millisecond,
+		OnBackoff: func(attempt int, err error, sleep time.Duration) {
+			if !IsThrottled(err) {
+				t.Errorf("backoff on non-throttle error: %v", err)
+			}
+			sleeps = append(sleeps, sleep)
+		},
+	}
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		if calls < 4 {
+			return throttled()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retry did not absorb transient 503s: %v", err)
+	}
+	if calls != 4 || len(sleeps) != 3 {
+		t.Fatalf("calls=%d backoffs=%d, want 4 and 3", calls, len(sleeps))
+	}
+	for i, s := range sleeps {
+		if s <= 0 || s > time.Millisecond+1 {
+			t.Fatalf("backoff %d slept %v, outside (0, MaxDelay]", i, s)
+		}
+	}
+}
+
+// TestRetryExhaustion: a persistent 429 surfaces after MaxAttempts
+// tries, as the original StatusError.
+func TestRetryExhaustion(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond}
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		return &StatusError{Code: http.StatusTooManyRequests, Message: "quota"}
+	})
+	if calls != 3 {
+		t.Fatalf("made %d calls, want 3", calls)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("exhaustion returned %v, want the 429", err)
+	}
+}
+
+// TestRetryHardErrorImmediate: a 400 is the caller's bug; no retries.
+func TestRetryHardErrorImmediate(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), func() error {
+		calls++
+		return &StatusError{Code: http.StatusBadRequest, Message: "nope"}
+	})
+	if calls != 1 {
+		t.Fatalf("retried a hard error: %d calls", calls)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("got %v, want the 400", err)
+	}
+}
+
+// TestRetryConflictRetried: 409 is transient under optimistic
+// concurrency — the default predicate retries it.
+func TestRetryConflictRetried(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Microsecond}
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		if calls == 1 {
+			return &StatusError{Code: http.StatusConflict, Message: "stale plan"}
+		}
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("conflict retry: err=%v calls=%d", err, calls)
+	}
+}
+
+// TestRetryContextCancel: cancellation mid-backoff returns promptly,
+// carrying both the context error and the error being retried.
+func TestRetryContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := RetryPolicy{BaseDelay: time.Hour, MaxDelay: time.Hour}
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(ctx, func() error { return throttled() })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("missing context error: %v", err)
+		}
+		var se *StatusError
+		if !errors.As(err, &se) {
+			t.Fatalf("missing the retried error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry kept sleeping through cancellation")
+	}
+}
+
+// TestRetryCustomPredicate: Retryable overrides the default verdict.
+func TestRetryCustomPredicate(t *testing.T) {
+	p := RetryPolicy{
+		BaseDelay: time.Microsecond,
+		Retryable: func(err error) bool { return false },
+	}
+	calls := 0
+	p.Do(context.Background(), func() error { calls++; return throttled() })
+	if calls != 1 {
+		t.Fatalf("custom predicate ignored: %d calls", calls)
+	}
+}

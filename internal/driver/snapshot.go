@@ -25,9 +25,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
 	"strconv"
 
 	"repro/internal/align"
+	"repro/internal/fault"
 	"repro/internal/fingerprint"
 	"repro/internal/ir"
 	"repro/internal/search"
@@ -119,6 +121,34 @@ func (s *Snapshot) Seal() error {
 	}
 	s.Checksum = sum
 	return nil
+}
+
+// SaveFile writes the snapshot's JSON encoding to path atomically
+// (temp file + fsync + rename + directory fsync): a crash mid-save
+// leaves either the previous snapshot or the complete new one, never a
+// torn file that a later restore would reject as corrupt.
+func (s *Snapshot) SaveFile(path string) error {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	return fault.WriteAtomic(fault.OS{}, path, data, 0o644)
+}
+
+// LoadSnapshotFile reads a snapshot written by SaveFile. Decoding is
+// all it does — version, checksum and config validation happen in
+// OpenSessionWithSnapshot, so a stale or foreign file fails there with
+// a precise error rather than here with a generic one.
+func LoadSnapshotFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("driver: decoding snapshot %s: %w", path, err)
+	}
+	return &snap, nil
 }
 
 // Snapshot exports the session's index state. The pending delta is

@@ -325,3 +325,66 @@ entry:
 		})
 	}
 }
+
+// TestSnapshotSaveFile: the atomic file round-trip — SaveFile writes a
+// snapshot that LoadSnapshotFile reads back into a restorable value,
+// and a re-save over an existing file replaces it completely.
+func TestSnapshotSaveFile(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{Algorithm: SalSSA, Threshold: 2, Target: costmodel.X86_64, Finder: search.KindLSH, DupFold: true}
+	m, err := irtext.Parse(snapshotModuleText(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenSession(ctx, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := t.TempDir() + "/s.snap.json"
+	if err := snap.SaveFile(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	m2, err := irtext.Parse(snapshotModuleText(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := OpenSessionWithSnapshot(ctx, m2, cfg, loaded)
+	if err != nil {
+		t.Fatalf("restore from loaded file: %v", err)
+	}
+	defer warm.Close()
+	st, err := warm.SearchStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Built != 0 {
+		t.Fatalf("file round-trip rebuilt %d index entries, want 0", st.Built)
+	}
+
+	// Re-save over the existing file: the replacement is complete (the
+	// checksum still validates), not an append or a truncation.
+	if err := snap.SaveFile(path); err != nil {
+		t.Fatalf("re-save: %v", err)
+	}
+	again, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Checksum != snap.Checksum || len(again.Funcs) != len(snap.Funcs) {
+		t.Fatalf("re-saved snapshot diverged: %s vs %s", again.Checksum, snap.Checksum)
+	}
+
+	if _, err := LoadSnapshotFile(t.TempDir() + "/absent.json"); err == nil {
+		t.Fatal("loading a missing snapshot succeeded")
+	}
+}

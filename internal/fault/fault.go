@@ -1,0 +1,340 @@
+// Package fault is the filesystem seam the durability layer writes
+// through. Production code passes OS, a thin passthrough to the os
+// package; tests pass an Injector that fails, short-writes, or
+// "crashes" (panics, then refuses all further I/O) at the Nth counted
+// operation, so every instruction boundary of a persistence protocol
+// can be exercised as a kill point.
+//
+// The package also owns WriteAtomic, the one way durable files are
+// written in this codebase: temp file + fsync + rename + directory
+// fsync, so a crash at any instant leaves either the old content or
+// the new content at the target path, never a hybrid.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FS is the filesystem surface the wal and snapshot paths use. It is
+// deliberately small: only what a write-ahead journal and an atomic
+// snapshot writer need.
+type FS interface {
+	// OpenFile opens name like os.OpenFile. Directories may be opened
+	// read-only to Sync them after a rename.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadFile(name string) ([]byte, error)
+}
+
+// File is the open-file surface: sequential reads and writes, fsync,
+// and the truncate/seek pair journal recovery uses to drop a torn tail.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+var _ FS = OS{}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                     { return os.Remove(name) }
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+
+// WriteAtomic writes data to path so that a crash at any point leaves
+// either the previous file or the complete new one: the bytes land in
+// path+".tmp", are fsynced, renamed over path, and the parent
+// directory is fsynced so the rename itself is durable.
+func WriteAtomic(fsys FS, path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return SyncDir(fsys, filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory, making a rename within it durable. On
+// filesystems that refuse to sync directories the error is surfaced;
+// the durability protocol treats it like any other failed write.
+func SyncDir(fsys FS, dir string) error {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Kind selects what the Injector's armed operation does.
+type Kind int
+
+const (
+	// KindError makes the Nth counted operation fail with ErrInjected.
+	// The process keeps running; later I/O proceeds normally.
+	KindError Kind = iota
+	// KindShortWrite makes the Nth operation, if it is a Write, write
+	// only half its buffer before failing with ErrInjected (any other
+	// operation just fails). The process keeps running.
+	KindShortWrite
+	// KindCrash makes the Nth operation panic with a Crash value — the
+	// simulated kill -9. If the operation is a Write, half the buffer
+	// lands first (a torn record). Every subsequent operation on the
+	// injector, reads included, fails with ErrCrashed: the process is
+	// dead and nothing else reaches the disk.
+	KindCrash
+)
+
+// ErrInjected is the failure KindError and KindShortWrite inject.
+var ErrInjected = errors.New("fault: injected I/O error")
+
+// ErrCrashed is what every operation after a KindCrash returns.
+var ErrCrashed = errors.New("fault: filesystem crashed")
+
+// Crash is the panic value a KindCrash trigger throws. Recover it with
+// IsCrash; anything else propagating through a recover is a real bug.
+type Crash struct {
+	Op string // the operation that was killed ("write", "sync", ...)
+	N  int64  // the 1-based counted-operation index it fired at
+}
+
+func (c Crash) String() string { return fmt.Sprintf("fault: crash at op %d (%s)", c.N, c.Op) }
+
+// IsCrash reports whether a recovered panic value is an injected crash.
+func IsCrash(r any) bool {
+	_, ok := r.(Crash)
+	return ok
+}
+
+// Injector wraps an FS and triggers one fault at the Nth counted
+// operation. Counted operations are the write path: opens with write
+// intent, Write, Sync, Truncate, Rename, Remove and MkdirAll. Reads
+// are passed through uncounted (but fail once the injector is dead).
+// An Injector is safe for concurrent use; the chaos harness drives it
+// single-threaded so operation counts are deterministic.
+type Injector struct {
+	under FS
+	kind  Kind
+
+	mu     sync.Mutex
+	at     int64 // 1-based op index to fire at; 0 or negative never fires
+	count  int64
+	fired  bool
+	dead   bool
+	lastOp string
+}
+
+var _ FS = (*Injector)(nil)
+
+// NewInjector wraps under so the at-th counted operation (1-based)
+// performs kind. An at of 0 (or negative) never fires — the
+// counting-run configuration.
+func NewInjector(under FS, kind Kind, at int64) *Injector {
+	return &Injector{under: under, kind: kind, at: at}
+}
+
+// Count returns the counted (write-path) operations so far.
+func (i *Injector) Count() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.count
+}
+
+// Fired reports whether the armed fault has triggered.
+func (i *Injector) Fired() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.fired
+}
+
+// step counts one write-path operation and decides its fate:
+// proceed (nil), fail (error), or die (panic). Callers pass the
+// operation name for the Crash value.
+func (i *Injector) step(op string) error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.dead {
+		return ErrCrashed
+	}
+	i.count++
+	i.lastOp = op
+	if i.fired || i.at <= 0 || i.count != i.at {
+		return nil
+	}
+	i.fired = true
+	switch i.kind {
+	case KindCrash:
+		i.dead = true
+		panic(Crash{Op: op, N: i.count})
+	default:
+		return ErrInjected
+	}
+}
+
+// live is the read-path check: uncounted, but dead is dead.
+func (i *Injector) live() error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.dead {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// shortWrite reports whether a triggering Write should tear: both
+// KindShortWrite and KindCrash land half the buffer first.
+func (i *Injector) shortWrite() bool {
+	return i.kind == KindShortWrite || i.kind == KindCrash
+}
+
+func (i *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if flag&(os.O_WRONLY|os.O_RDWR|os.O_CREATE|os.O_TRUNC|os.O_APPEND) != 0 {
+		if err := i.step("open"); err != nil {
+			return nil, err
+		}
+	} else if err := i.live(); err != nil {
+		return nil, err
+	}
+	f, err := i.under.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{i: i, f: f}, nil
+}
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	if err := i.step("rename"); err != nil {
+		return err
+	}
+	return i.under.Rename(oldpath, newpath)
+}
+
+func (i *Injector) Remove(name string) error {
+	if err := i.step("remove"); err != nil {
+		return err
+	}
+	return i.under.Remove(name)
+}
+
+func (i *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if err := i.step("mkdir"); err != nil {
+		return err
+	}
+	return i.under.MkdirAll(path, perm)
+}
+
+func (i *Injector) ReadFile(name string) ([]byte, error) {
+	if err := i.live(); err != nil {
+		return nil, err
+	}
+	return i.under.ReadFile(name)
+}
+
+// injectedFile threads the injector through per-file operations.
+type injectedFile struct {
+	i *Injector
+	f File
+}
+
+func (jf *injectedFile) Write(p []byte) (int, error) {
+	jf.i.mu.Lock()
+	if jf.i.dead {
+		jf.i.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	jf.i.count++
+	trigger := !jf.i.fired && jf.i.at > 0 && jf.i.count == jf.i.at
+	if trigger {
+		jf.i.fired = true
+	}
+	n := jf.i.count
+	kind := jf.i.kind
+	short := jf.i.shortWrite()
+	if trigger && kind == KindCrash {
+		jf.i.dead = true
+	}
+	jf.i.mu.Unlock()
+
+	if !trigger {
+		return jf.f.Write(p)
+	}
+	written := 0
+	if short && len(p) > 1 {
+		written, _ = jf.f.Write(p[:len(p)/2])
+		jf.f.Sync() // the torn prefix reaches the disk before death
+	}
+	if kind == KindCrash {
+		panic(Crash{Op: "write", N: n})
+	}
+	return written, ErrInjected
+}
+
+func (jf *injectedFile) Read(p []byte) (int, error) {
+	if err := jf.i.live(); err != nil {
+		return 0, err
+	}
+	return jf.f.Read(p)
+}
+
+func (jf *injectedFile) Close() error {
+	// Close is uncounted: it cannot lose data the protocol relies on
+	// (durability comes from Sync), and counting it would double every
+	// sweep for no extra coverage. A dead filesystem still closes the
+	// real handle so sweeps do not leak descriptors.
+	return jf.f.Close()
+}
+
+func (jf *injectedFile) Sync() error {
+	if err := jf.i.step("sync"); err != nil {
+		return err
+	}
+	return jf.f.Sync()
+}
+
+func (jf *injectedFile) Truncate(size int64) error {
+	if err := jf.i.step("truncate"); err != nil {
+		return err
+	}
+	return jf.f.Truncate(size)
+}
+
+func (jf *injectedFile) Seek(offset int64, whence int) (int64, error) {
+	if err := jf.i.live(); err != nil {
+		return 0, err
+	}
+	return jf.f.Seek(offset, whence)
+}

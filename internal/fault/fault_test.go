@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteAtomicSweep proves WriteAtomic's contract exhaustively: a
+// fault injected at every counted I/O operation of the protocol leaves
+// the target file holding either the old bytes or the new bytes —
+// never a prefix, never a hybrid — for plain failures and for crashes.
+func TestWriteAtomicSweep(t *testing.T) {
+	old, new_ := []byte("the old contents\n"), []byte("the new contents, longer than before\n")
+
+	// Counting run: how many injection points does one write have?
+	dir := t.TempDir()
+	path := filepath.Join(dir, "target")
+	if err := WriteAtomic(OS{}, path, old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	counter := NewInjector(OS{}, KindError, 0)
+	if err := WriteAtomic(counter, path, new_, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	total := counter.Count()
+	if total < 4 { // open, write, sync, rename at minimum
+		t.Fatalf("suspiciously few counted ops: %d", total)
+	}
+
+	for _, kind := range []Kind{KindError, KindShortWrite, KindCrash} {
+		for n := int64(1); n <= total; n++ {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "target")
+			if err := WriteAtomic(OS{}, path, old, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			inj := NewInjector(OS{}, kind, n)
+			err := func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						if !IsCrash(r) {
+							panic(r)
+						}
+						err = ErrCrashed
+					}
+				}()
+				return WriteAtomic(inj, path, new_, 0o644)
+			}()
+			got, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatalf("kind %d op %d: target unreadable: %v", kind, n, rerr)
+			}
+			switch {
+			case string(got) == string(old):
+				if err == nil && kind != KindCrash {
+					// A successful write must have installed the new bytes;
+					// old bytes with a nil error means a silent loss.
+					t.Fatalf("kind %d op %d: WriteAtomic reported success but old bytes remain", kind, n)
+				}
+			case string(got) == string(new_):
+				// New content may legitimately land even when the reported
+				// error came later (e.g. the directory fsync failed).
+			default:
+				t.Fatalf("kind %d op %d: target holds a hybrid (%d bytes: %q)", kind, n, len(got), got)
+			}
+		}
+	}
+}
+
+// TestInjectorDeadAfterCrash: once a crash fires, everything — reads
+// included — fails, like a killed process's disk.
+func TestInjectorDeadAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, KindCrash, 1)
+	func() {
+		defer func() {
+			if r := recover(); !IsCrash(r) {
+				t.Fatalf("expected injected crash, got %v", r)
+			}
+		}()
+		inj.MkdirAll(filepath.Join(dir, "sub"), 0o755)
+	}()
+	if !inj.Fired() {
+		t.Fatal("crash did not mark the injector fired")
+	}
+	if _, err := inj.ReadFile(filepath.Join(dir, "nope")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash: %v, want ErrCrashed", err)
+	}
+	if err := inj.Rename("a", "b"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename after crash: %v, want ErrCrashed", err)
+	}
+}
+
+// TestInjectorShortWrite: the armed Write lands a strict prefix.
+func TestInjectorShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn")
+	inj := NewInjector(OS{}, KindShortWrite, 2) // 1=open, 2=write
+	f, err := inj.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef")
+	if _, err := f.Write(payload); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write: %v, want ErrInjected", err)
+	}
+	f.Close()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || len(got) >= len(payload) {
+		t.Fatalf("short write landed %d bytes of %d, want a strict non-empty prefix", len(got), len(payload))
+	}
+}

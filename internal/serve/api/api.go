@@ -51,6 +51,13 @@ type SessionInfo struct {
 	// count since open (0 after a fully matching warm restart).
 	Warm  bool `json:"warm"`
 	Built int  `json:"built"`
+	// Replayed counts the journal records replayed when the session was
+	// recovered (0 for a fresh or cleanly-snapshotted session).
+	Replayed int `json:"replayed,omitempty"`
+	// Quarantined reports that the session has been fenced off after a
+	// panic or a journal-write failure: every operation except DELETE
+	// and info returns 503 until the session is deleted and recreated.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // Update is the body of POST /v1/sessions/{name}/update: a textual-IR
@@ -92,12 +99,23 @@ type Plan = repro.MergePlan
 // cumulative admission-control accounting.
 type ServerStats struct {
 	Sessions     int   `json:"sessions"`
+	Quarantined  int   `json:"quarantined"` // sessions currently fenced off
 	Inflight     int   `json:"inflight"`
 	Ops          int64 `json:"ops"`
 	Rejected503  int64 `json:"rejected_503"`
 	Rejected429  int64 `json:"rejected_429"`
 	Conflicts409 int64 `json:"conflicts_409"`
 	WarmRestores int64 `json:"warm_restores"`
+	Panics       int64 `json:"panics"` // request panics recovered (each quarantines a session)
+}
+
+// Health is the body of GET /v1/healthz. Degraded means at least one
+// session is quarantined: the daemon still serves, but an operator
+// should intervene (DELETE and recreate the quarantined sessions).
+type Health struct {
+	OK          bool `json:"ok"`
+	Degraded    bool `json:"degraded,omitempty"`
+	Quarantined int  `json:"quarantined,omitempty"`
 }
 
 // Error is the JSON error envelope every non-2xx response carries.

@@ -6,11 +6,11 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"os"
 	"strings"
 
 	repro "repro"
 	"repro/internal/serve/api"
+	"repro/internal/wal"
 )
 
 // Handler mounts the daemon's /v1 surface. Every session operation
@@ -20,7 +20,12 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+		st := s.Stats()
+		writeJSON(w, http.StatusOK, api.Health{
+			OK:          st.Quarantined == 0,
+			Degraded:    st.Quarantined > 0,
+			Quarantined: st.Quarantined,
+		})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
@@ -143,6 +148,35 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *served {
 	return sv
 }
 
+// locked resolves the session, serializes on its mutex, bounces
+// quarantined sessions with 503, and converts a panic inside fn into a
+// 500 plus quarantine — one poisoned session must not take the daemon
+// down, and must not keep serving from suspect state. The recover runs
+// while the session mutex is still held, so the quarantine flag is set
+// before any other request can enter.
+func (s *Server) locked(w http.ResponseWriter, r *http.Request, fn func(sv *served)) {
+	sv := s.lookup(w, r)
+	if sv == nil {
+		return
+	}
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.quarantined.Load() {
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("session %q is quarantined; DELETE and recreate it to recover the last durable state", sv.name))
+		return
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			sv.quarantined.Store(true)
+			writeErr(w, http.StatusInternalServerError,
+				fmt.Errorf("internal panic serving session %q (session quarantined): %v", sv.name, p))
+		}
+	}()
+	fn(sv)
+}
+
 // buildOptimizer maps the wire options onto the Optimizer.
 func buildOptimizer(req *api.CreateSession, shards int) (*repro.Optimizer, error) {
 	var opts []repro.Option
@@ -202,18 +236,22 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Resolve the module: inline text, or the persisted copy (the
-	// warm-restart path for a restarted daemon).
+	// warm-restart / crash-recovery path for a restarted daemon).
+	// diskText stays nil for inline modules; for restores it carries
+	// the persisted bytes the journal's base hash is checked against.
 	src := req.Module
+	var diskText []byte
 	if src == "" {
 		if s.cfg.SnapshotDir == "" {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("no module given and no snapshot directory configured"))
 			return
 		}
-		data, err := os.ReadFile(s.modulePath(req.Name))
+		data, err := s.fs.ReadFile(s.modulePath(req.Name))
 		if err != nil {
 			writeErr(w, http.StatusNotFound, fmt.Errorf("no module given and no persisted module for %q", req.Name))
 			return
 		}
+		diskText = data
 		src = string(data)
 	}
 	m, err := repro.ParseModule(src)
@@ -257,12 +295,37 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	cs.funcs += funcs
 	s.mu.Unlock()
 
+	// abort unwinds the reservation when the create cannot complete.
+	abort := func(status int, err error) {
+		closeJournalOnly(sv)
+		sv.mu.Unlock()
+		s.mu.Lock()
+		delete(s.sessions, req.Name)
+		cs.funcs -= funcs
+		s.mu.Unlock()
+		writeErr(w, status, err)
+	}
+	// A panic between the reservation and the response (index build,
+	// journal attach) must not leak a permanently locked placeholder
+	// session under this name.
+	committed := false
+	defer func() {
+		if p := recover(); p != nil {
+			if committed {
+				panic(p)
+			}
+			s.panics.Add(1)
+			abort(http.StatusInternalServerError,
+				fmt.Errorf("internal panic creating session %q: %v", req.Name, p))
+		}
+	}()
+
 	// Warm restart when a sealed snapshot is on disk and validates; any
 	// failure falls back to a cold open.
 	var sess *repro.Session
 	warm := false
 	if s.cfg.SnapshotDir != "" {
-		if data, err := os.ReadFile(s.snapshotPath(req.Name)); err == nil {
+		if data, err := s.fs.ReadFile(s.snapshotPath(req.Name)); err == nil {
 			var snap repro.SessionSnapshot
 			if json.Unmarshal(data, &snap) == nil {
 				if ws, err := opt.OpenWithSnapshot(r.Context(), m, &snap); err == nil {
@@ -275,18 +338,40 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		sess, err = opt.Open(r.Context(), m)
 		if err != nil {
-			sv.mu.Unlock()
-			s.mu.Lock()
-			delete(s.sessions, req.Name)
-			cs.funcs -= funcs
-			s.mu.Unlock()
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("opening session: %w", err))
+			abort(http.StatusBadRequest, fmt.Errorf("opening session: %w", err))
 			return
 		}
 	}
 	sv.m, sv.sess, sv.warm, sv.funcs = m, sess, warm, funcs
+
+	// Durability: persist a fresh module / replay the journal tail. A
+	// session that cannot journal must not be served — the client asked
+	// for crash-safety.
+	if err := s.attachJournal(r.Context(), sv, diskText); err != nil {
+		sess.Close()
+		abort(http.StatusInternalServerError, fmt.Errorf("attaching journal: %w", err))
+		return
+	}
+	// Journal replay may have grown or shrunk the module; settle the
+	// quota on what actually survives.
+	if grown := len(sv.m.Defined()) - funcs; grown != 0 {
+		s.mu.Lock()
+		cs.funcs += grown
+		s.mu.Unlock()
+		sv.funcs += grown
+	}
+	committed = true
 	sv.mu.Unlock()
 	writeJSON(w, http.StatusCreated, s.info(sv))
+}
+
+// closeJournalOnly releases a journal handle during create-abort,
+// where the engine either never opened or is closed by the caller.
+func closeJournalOnly(sv *served) {
+	if sv.j != nil {
+		sv.j.Close()
+		sv.j = nil
+	}
 }
 
 // info snapshots a SessionInfo; caller need not hold sv.mu for the
@@ -296,10 +381,19 @@ func (s *Server) info(sv *served) api.SessionInfo {
 	if st, err := sv.sess.SearchStats(); err == nil {
 		built = st.Built
 	}
-	return api.SessionInfo{Name: sv.name, Funcs: sv.funcs, Warm: sv.warm, Built: built}
+	return api.SessionInfo{
+		Name:        sv.name,
+		Funcs:       sv.funcs,
+		Warm:        sv.warm,
+		Built:       built,
+		Replayed:    sv.replayed,
+		Quarantined: sv.quarantined.Load(),
+	}
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	// Info is answerable for quarantined sessions too — it is how an
+	// operator sees the quarantine — so it does not use locked.
 	sv := s.lookup(w, r)
 	if sv == nil {
 		return
@@ -324,8 +418,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no session %q", name))
 		return
 	}
+	// Deleting is also how an operator clears a quarantine, so this
+	// path must work on poisoned sessions: closeSession absorbs panics.
 	sv.mu.Lock()
-	err := sv.sess.Close()
+	err := closeSession(sv)
 	sv.mu.Unlock()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
@@ -335,116 +431,117 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	sv := s.lookup(w, r)
-	if sv == nil {
-		return
-	}
 	var req api.Update
 	if !readJSON(w, r, &req) {
 		return
 	}
-	sv.mu.Lock()
-	defer sv.mu.Unlock()
-	// Quota precheck on an upper bound (every "define" in the fragment
-	// could be a new function) so a rejected update touches nothing;
-	// the actual growth, accounted after the splice, is never larger.
-	bound := strings.Count(req.Fragment, "define ")
-	s.mu.Lock()
-	cs := s.clients[sv.owner]
-	if cs != nil && cs.funcs+bound > s.cfg.MaxClientFuncs {
-		s.mu.Unlock()
-		s.rejected429.Add(1)
-		writeErr(w, http.StatusTooManyRequests,
-			fmt.Errorf("function quota exceeded: %d indexed + up to %d defined > %d", cs.funcs, bound, s.cfg.MaxClientFuncs))
-		return
-	}
-	s.mu.Unlock()
-	before := len(sv.m.Defined())
-	names, err := repro.SpliceModule(sv.m, req.Fragment)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("splicing fragment: %w", err))
-		return
-	}
-	if grown := len(sv.m.Defined()) - before; grown > 0 {
+	s.locked(w, r, func(sv *served) {
+		// Quota precheck on an upper bound (every "define" in the fragment
+		// could be a new function) so a rejected update touches nothing;
+		// the actual growth, accounted after the splice, is never larger.
+		bound := strings.Count(req.Fragment, "define ")
 		s.mu.Lock()
-		if cs != nil {
-			cs.funcs += grown
+		cs := s.clients[sv.owner]
+		if cs != nil && cs.funcs+bound > s.cfg.MaxClientFuncs {
+			s.mu.Unlock()
+			s.rejected429.Add(1)
+			writeErr(w, http.StatusTooManyRequests,
+				fmt.Errorf("function quota exceeded: %d indexed + up to %d defined > %d", cs.funcs, bound, s.cfg.MaxClientFuncs))
+			return
 		}
 		s.mu.Unlock()
-		sv.funcs += grown
-	}
-	if err := sv.sess.Update(r.Context(), names...); err != nil {
-		s.writeEngineErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, api.Updated{Funcs: names})
+		before := len(sv.m.Defined())
+		names, err := repro.SpliceModule(sv.m, req.Fragment)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("splicing fragment: %w", err))
+			return
+		}
+		if grown := len(sv.m.Defined()) - before; grown > 0 {
+			s.mu.Lock()
+			if cs != nil {
+				cs.funcs += grown
+			}
+			s.mu.Unlock()
+			sv.funcs += grown
+		}
+		if err := sv.sess.Update(r.Context(), names...); err != nil {
+			s.writeEngineErr(w, err)
+			return
+		}
+		if err := s.journal(sv, wal.Record{Op: wal.OpUpdate, Fragment: req.Fragment}); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, api.Updated{Funcs: names})
+	})
 }
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
-	sv := s.lookup(w, r)
-	if sv == nil {
-		return
-	}
 	var req api.Remove
 	if !readJSON(w, r, &req) {
 		return
 	}
-	sv.mu.Lock()
-	defer sv.mu.Unlock()
-	if err := sv.sess.Remove(r.Context(), req.Names...); err != nil {
-		s.writeEngineErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]int{"removed": len(req.Names)})
+	s.locked(w, r, func(sv *served) {
+		if err := sv.sess.Remove(r.Context(), req.Names...); err != nil {
+			s.writeEngineErr(w, err)
+			return
+		}
+		if err := s.journal(sv, wal.Record{Op: wal.OpRemove, Names: req.Names}); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"removed": len(req.Names)})
+	})
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	sv := s.lookup(w, r)
-	if sv == nil {
-		return
-	}
-	sv.mu.Lock()
-	defer sv.mu.Unlock()
-	plan, err := sv.sess.PlanSharded(r.Context(), sv.shards)
-	if err != nil {
-		s.writeEngineErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, plan)
+	s.locked(w, r, func(sv *served) {
+		plan, err := sv.sess.PlanSharded(r.Context(), sv.shards)
+		if err != nil {
+			s.writeEngineErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, plan)
+	})
 }
 
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
-	sv := s.lookup(w, r)
-	if sv == nil {
-		return
-	}
 	var plan api.Plan
 	if !readJSON(w, r, &plan) {
 		return
 	}
-	sv.mu.Lock()
-	defer sv.mu.Unlock()
-	rep, err := sv.sess.Apply(r.Context(), &plan)
-	if err != nil {
-		s.writeEngineErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, wireReport(rep))
+	s.locked(w, r, func(sv *served) {
+		rep, err := sv.sess.Apply(r.Context(), &plan)
+		if err != nil {
+			s.writeEngineErr(w, err)
+			return
+		}
+		data, err := json.Marshal(&plan)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		if err := s.journal(sv, wal.Record{Op: wal.OpApply, Plan: data}); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, wireReport(rep))
+	})
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	sv := s.lookup(w, r)
-	if sv == nil {
-		return
-	}
-	sv.mu.Lock()
-	defer sv.mu.Unlock()
-	rep, err := sv.sess.Optimize(r.Context())
-	if err != nil {
-		s.writeEngineErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, wireReport(rep))
+	s.locked(w, r, func(sv *served) {
+		rep, err := sv.sess.Optimize(r.Context())
+		if err != nil {
+			s.writeEngineErr(w, err)
+			return
+		}
+		if err := s.journal(sv, wal.Record{Op: wal.OpOptimize}); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, wireReport(rep))
+	})
 }
 
 func wireReport(rep *repro.Report) api.Report {
@@ -458,32 +555,23 @@ func wireReport(rep *repro.Report) api.Report {
 }
 
 func (s *Server) handleModule(w http.ResponseWriter, r *http.Request) {
-	sv := s.lookup(w, r)
-	if sv == nil {
-		return
-	}
-	sv.mu.Lock()
-	text := repro.FormatModule(sv.m)
-	sv.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	w.Write([]byte(text))
+	s.locked(w, r, func(sv *served) {
+		text := repro.FormatModule(sv.m)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(text))
+	})
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	sv := s.lookup(w, r)
-	if sv == nil {
-		return
-	}
-	sv.mu.Lock()
-	err := s.persist(sv)
-	sv.mu.Unlock()
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{
-		"module":   s.modulePath(sv.name),
-		"snapshot": s.snapshotPath(sv.name),
+	s.locked(w, r, func(sv *served) {
+		if err := s.persist(sv); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{
+			"module":   s.modulePath(sv.name),
+			"snapshot": s.snapshotPath(sv.name),
+		})
 	})
 }

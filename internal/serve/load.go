@@ -18,6 +18,7 @@ import (
 
 	"repro/client"
 	"repro/internal/synth"
+	"repro/internal/wal"
 )
 
 // LoadConfig shapes one load run.
@@ -41,6 +42,12 @@ type LoadConfig struct {
 	// MaxRounds caps each client's plan/apply rounds; 0 means run until
 	// the session reaches its merge fixpoint (empty plan).
 	MaxRounds int `json:"max_rounds,omitempty"`
+	// WALDir, when non-empty, journals every committed mutation there —
+	// the knob the WAL overhead benchmark turns.
+	WALDir string `json:"wal_dir,omitempty"`
+	// WALSync is the journal fsync policy: "commit" (default) or
+	// "batch". Ignored without WALDir.
+	WALSync string `json:"wal_sync,omitempty"`
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -108,12 +115,18 @@ func loadCorpus(funcs int, seed int64) string {
 // module text into the report, for equivalence checks.
 func RunLoad(ctx context.Context, cfg LoadConfig, collectModules bool) (*LoadReport, error) {
 	cfg = cfg.withDefaults()
+	mode, err := wal.ParseSyncMode(cfg.WALSync)
+	if err != nil {
+		return nil, err
+	}
 	srv := New(Config{
 		MaxSessions:       cfg.Sessions + 1,
 		MaxInflight:       4 * cfg.Clients,
 		MaxClientInflight: 8,
 		MaxClientFuncs:    cfg.Sessions*cfg.Funcs + 1,
 		Shards:            cfg.Shards,
+		WALDir:            cfg.WALDir,
+		WALSync:           mode,
 	})
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -166,15 +179,22 @@ func RunLoad(ctx context.Context, cfg LoadConfig, collectModules bool) (*LoadRep
 			defer wg.Done()
 			c := client.New(base, fmt.Sprintf("loadgen-%d", i))
 			sc := c.Session(fmt.Sprintf("load-%d", i%cfg.Sessions))
+			// Throttling (429/503) is absorbed by capped exponential
+			// backoff with jitter; 409 stays in the outer loop, because a
+			// stale plan needs a replan, not a resend.
+			backoff := client.RetryPolicy{
+				Retryable: client.IsThrottled,
+				OnBackoff: func(int, error, time.Duration) { throttled.Add(1) },
+			}
 			for round := 0; cfg.MaxRounds == 0 || round < cfg.MaxRounds; round++ {
 				t0 := time.Now()
-				plan, err := sc.Plan(ctx)
+				var plan *client.Plan
+				err := backoff.Do(ctx, func() error {
+					var perr error
+					plan, perr = sc.Plan(ctx)
+					return perr
+				})
 				if err != nil {
-					if client.IsThrottled(err) {
-						throttled.Add(1)
-						time.Sleep(5 * time.Millisecond)
-						continue
-					}
 					errs.Add(1)
 					return
 				}
@@ -183,7 +203,12 @@ func RunLoad(ctx context.Context, cfg LoadConfig, collectModules bool) (*LoadRep
 					return // fixpoint reached
 				}
 				t0 = time.Now()
-				rep, err := sc.Apply(ctx, plan)
+				var rep client.Report
+				err = backoff.Do(ctx, func() error {
+					var aerr error
+					rep, aerr = sc.Apply(ctx, plan)
+					return aerr
+				})
 				switch {
 				case err == nil:
 					record(time.Since(t0))
@@ -191,9 +216,6 @@ func RunLoad(ctx context.Context, cfg LoadConfig, collectModules bool) (*LoadRep
 					folds.Add(int64(rep.Folds))
 				case client.IsConflict(err):
 					conflicts.Add(1) // another client won the commit: replan
-				case client.IsThrottled(err):
-					throttled.Add(1)
-					time.Sleep(5 * time.Millisecond)
 				default:
 					errs.Add(1)
 					return

@@ -1,0 +1,223 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func journalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "s.wal")
+}
+
+var testRecords = []Record{
+	{Op: OpUpdate, Fragment: "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}\n"},
+	{Op: OpRemove, Names: []string{"a", "b"}},
+	{Op: OpApply, Plan: json.RawMessage(`{"algorithm":"SalSSA","threshold":1,"run_id":7}`)},
+	{Op: OpOptimize},
+}
+
+func buildJournal(t *testing.T, path string, base uint64, recs []Record) {
+	t.Helper()
+	j, err := Create(fault.OS{}, path, base, SyncCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalRoundTrip: create, append, close, open — same base, same
+// records, no torn tail, and the reopened journal accepts appends.
+func TestJournalRoundTrip(t *testing.T) {
+	path := journalPath(t)
+	buildJournal(t, path, 0xdeadbeef, testRecords)
+
+	j, base, recs, torn, err := Open(fault.OS{}, path, SyncCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 0xdeadbeef {
+		t.Fatalf("base %x, want deadbeef", base)
+	}
+	if torn {
+		t.Fatal("clean journal reported torn")
+	}
+	if !reflect.DeepEqual(recs, testRecords) {
+		t.Fatalf("records round-trip mismatch:\n got %+v\nwant %+v", recs, testRecords)
+	}
+	if err := j.Append(Record{Op: OpRemove, Names: []string{"late"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs2, _, torn2, err := Replay(fault.OS{}, path)
+	if err != nil || torn2 {
+		t.Fatalf("replay after reopened append: torn=%v err=%v", torn2, err)
+	}
+	if len(recs2) != len(testRecords)+1 || recs2[len(recs2)-1].Names[0] != "late" {
+		t.Fatalf("appended record missing after reopen: %+v", recs2)
+	}
+}
+
+// TestJournalRotation: Create over an existing journal atomically
+// replaces it; the old records are gone and the new base holds.
+func TestJournalRotation(t *testing.T) {
+	path := journalPath(t)
+	buildJournal(t, path, 1, testRecords)
+	j, err := Create(fault.OS{}, path, 2, SyncBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(testRecords[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil { // batch mode syncs on close
+		t.Fatal(err)
+	}
+	base, recs, _, torn, err := Replay(fault.OS{}, path)
+	if err != nil || torn {
+		t.Fatalf("rotated journal: torn=%v err=%v", torn, err)
+	}
+	if base != 2 || len(recs) != 1 {
+		t.Fatalf("rotated journal base=%d records=%d, want base=2 records=1", base, len(recs))
+	}
+}
+
+// TestJournalMissing: Open of a nonexistent journal surfaces the
+// filesystem's not-exist error, which callers branch on to Create.
+func TestJournalMissing(t *testing.T) {
+	_, _, _, _, err := Open(fault.OS{}, journalPath(t), SyncCommit)
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("open missing journal: %v, want not-exist", err)
+	}
+}
+
+// corrupt returns the journal bytes and the offsets of each frame so
+// tests can corrupt with precision.
+func frameOffsets(t *testing.T, data []byte) []int {
+	t.Helper()
+	var offs []int
+	off := 0
+	for off+frameHeader <= len(data) {
+		offs = append(offs, off)
+		n := binary.LittleEndian.Uint32(data[off:])
+		off += frameHeader + int(n)
+	}
+	if off != len(data) {
+		t.Fatalf("frame walk ended at %d of %d", off, len(data))
+	}
+	return offs
+}
+
+// TestJournalTailCorruption is the table over the journal-corruption
+// taxonomy: truncation, bit flips (tail, middle, begin), length-field
+// damage and duplicated tails. Replay must never fail, must stop at
+// the last valid record, and Open must truncate so a second Replay is
+// clean and identical — the recovery fixpoint.
+func TestJournalTailCorruption(t *testing.T) {
+	path := journalPath(t)
+	buildJournal(t, path, 9, testRecords)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := frameOffsets(t, clean) // begin + 4 records
+	if len(offs) != 5 {
+		t.Fatalf("expected 5 frames, got %d", len(offs))
+	}
+
+	cases := []struct {
+		name     string
+		mutate   func([]byte) []byte
+		wantRecs int
+		wantTorn bool
+		wantBase uint64
+	}{
+		{"truncate-mid-last-record", func(b []byte) []byte { return b[:offs[4]+3] }, 3, true, 9},
+		{"truncate-at-boundary", func(b []byte) []byte { return b[:offs[3]] }, 2, false, 9},
+		{"bitflip-last-payload", func(b []byte) []byte {
+			b[len(b)-1] ^= 0x40
+			return b
+		}, 3, true, 9},
+		{"bitflip-middle-record", func(b []byte) []byte {
+			b[offs[2]+frameHeader] ^= 0x01
+			return b
+		}, 1, true, 9},
+		{"bitflip-begin-record", func(b []byte) []byte {
+			b[offs[0]+frameHeader] ^= 0x01
+			return b
+		}, 0, true, 0},
+		{"length-field-huge", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[offs[4]:], 1<<30)
+			return b
+		}, 3, true, 9},
+		{"length-field-zero", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[offs[4]:], 0)
+			return b
+		}, 3, true, 9},
+		{"duplicated-tail-frame", func(b []byte) []byte {
+			return append(b, b[offs[4]:]...)
+		}, 5, false, 9}, // a duplicated frame is valid framing; semantic replay handles it
+		{"garbage-appended", func(b []byte) []byte {
+			return append(b, 0xff, 0x13, 0x37)
+		}, 4, true, 9},
+		{"empty-file", func(b []byte) []byte { return nil }, 0, true, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(t.TempDir(), "c.wal")
+			if err := os.WriteFile(p, tc.mutate(append([]byte(nil), clean...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			base, recs, validLen, torn, err := Replay(fault.OS{}, p)
+			if err != nil {
+				t.Fatalf("replay failed on corruption: %v", err)
+			}
+			if len(recs) != tc.wantRecs || torn != tc.wantTorn || base != tc.wantBase {
+				t.Fatalf("got %d records torn=%v base=%d, want %d torn=%v base=%d",
+					len(recs), torn, base, tc.wantRecs, tc.wantTorn, tc.wantBase)
+			}
+			for i, r := range recs {
+				if i < len(testRecords) && !reflect.DeepEqual(r, testRecords[i]) {
+					t.Fatalf("record %d diverged after corruption: %+v", i, r)
+				}
+			}
+			// Open truncates the torn tail; a second replay must be the
+			// stable fixpoint: same records, torn=false.
+			j, base2, recs2, _, err := Open(fault.OS{}, p, SyncCommit)
+			if err != nil {
+				t.Fatalf("open on corruption: %v", err)
+			}
+			if j == nil {
+				if validLen != 0 {
+					t.Fatalf("open refused a journal with %d valid bytes", validLen)
+				}
+				return // no usable begin record: caller rotates
+			}
+			j.Close()
+			base3, recs3, _, torn3, err := Replay(fault.OS{}, p)
+			if err != nil || torn3 {
+				t.Fatalf("replay after truncating open: torn=%v err=%v", torn3, err)
+			}
+			if base2 != base3 || !reflect.DeepEqual(recs2, recs3) {
+				t.Fatal("open+replay is not a fixpoint")
+			}
+		})
+	}
+}

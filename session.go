@@ -145,6 +145,25 @@ func (s *Session) Snapshot() (*SessionSnapshot, error) {
 	return s.s.Snapshot()
 }
 
+// SaveSnapshot exports the session's index state and writes it to path
+// atomically (temp file + fsync + rename), so a crash mid-save leaves
+// either the previous snapshot or the complete new one.
+func (s *Session) SaveSnapshot(path string) error {
+	snap, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	return snap.SaveFile(path)
+}
+
+// LoadSessionSnapshot reads a snapshot written by SaveSnapshot (or any
+// JSON-encoded SessionSnapshot). Validation — version, checksum,
+// configuration guard — happens when the snapshot is handed to
+// OpenWithSnapshot.
+func LoadSessionSnapshot(path string) (*SessionSnapshot, error) {
+	return driver.LoadSnapshotFile(path)
+}
+
 // SearchStats returns the candidate finder's cumulative accounting
 // since the session opened. Built counts fingerprint/sketch
 // computations: a session opened through OpenWithSnapshot from a fully
