@@ -55,6 +55,8 @@ type (
 	// Health is the daemon's health summary; Degraded means at least
 	// one session is quarantined.
 	Health = api.Health
+	// Batched is the batch-delta response.
+	Batched = api.Batched
 )
 
 // StatusError is the decoded non-2xx response: the HTTP status code
@@ -224,6 +226,16 @@ func (sc *SessionClient) Update(ctx context.Context, fragment string) ([]string,
 // Remove drops the named functions from the session's candidate set.
 func (sc *SessionClient) Remove(ctx context.Context, names ...string) error {
 	return sc.c.do(ctx, http.MethodPost, sc.path("/remove"), api.Remove{Names: names}, nil)
+}
+
+// Batch ships one coherent delta — a textual-IR fragment to splice
+// plus a set of removals — re-indexed daemon-side in a single pass;
+// the bulk path when many object deltas land at once. A function both
+// defined by the fragment and named in remove fails with 400.
+func (sc *SessionClient) Batch(ctx context.Context, fragment string, remove []string) (Batched, error) {
+	var out Batched
+	err := sc.c.do(ctx, http.MethodPost, sc.path("/batch"), api.Batch{Fragment: fragment, Remove: remove}, &out)
+	return out, err
 }
 
 // Plan asks the daemon for a merge plan (sharded per the session's

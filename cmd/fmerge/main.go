@@ -5,10 +5,12 @@
 //	fmerge [-algo salssa|salssa-nopc|fmsa] [-t N] [-target x86-64|thumb]
 //	       [-linear-align] [-max-cells N] [-min-instrs N]
 //	       [-skip-hot f1,f2,...] [-finder exact|lsh] [-dup-fold] [-canon]
-//	       [-max-family N] [-rounds N] [-jobs N]
-//	       [-cpuprofile f] [-memprofile f]
+//	       [-max-family N] [-rounds N] [-jobs N] [-commit-jobs N]
+//	       [-lsh-budget N] [-cpuprofile f] [-memprofile f]
 //	       [-plan out.json | -apply plan.json]
 //	       [-v] [-print] [-pair f1,f2] file.ll [file2.ll ...]
+//	fmerge -corpus 10k|100k|1m|N [pipeline flags]
+//	fmerge -scale 10k,100k [-scale-out BENCH_scale.json]
 //
 // Without -pair, the whole-module pipeline runs (ranking + cost model);
 // with -pair, the named functions are merged unconditionally by the
@@ -75,6 +77,29 @@
 //	-jobs N         plan candidate merges with N parallel workers
 //	                (0 = all CPUs); the committed merges are identical
 //	                to a serial run
+//	-commit-jobs N  run the commit walk component-parallel with N
+//	                workers (0 = all CPUs, 1 = the serial walk): the
+//	                candidate graph's connected components walk
+//	                speculatively in parallel and a validated serial
+//	                replay commits their decisions, bit-identical to
+//	                the serial walk at any value
+//	-lsh-budget N   keep at most N LSH band buckets resident, spilling
+//	                the coldest to compact delta-encoded blobs (0 =
+//	                unbounded); candidate lists — and merges — are
+//	                identical at any budget. Ignored by -finder exact
+//
+// Scale modes (see README "Million-function corpora"):
+//
+//	-corpus TIER    generate a deterministic synthetic corpus — clone
+//	                families plus library duplicates — at 10k/100k/1m
+//	                scale (or any function count) and run the pipeline
+//	                on it, instead of reading input files
+//	-scale TIERS    benchmark mode: for each comma-separated tier,
+//	                stream the corpus batch-by-batch into a session
+//	                (LSH finder), optimize, and record phase wall-clock,
+//	                peak heap, post-index live heap and spill stats —
+//	                once unbounded, once under an LSH budget — as a
+//	                JSON artifact written to -scale-out
 //	-v              report per-stage progress on stderr, plus a
 //	                candidate-search summary (pairs tried, plan-cache
 //	                hits, finder query time), the alignment-cache
@@ -106,8 +131,10 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	repro "repro"
+	"repro/internal/corpus"
 	"repro/internal/search"
 )
 
@@ -125,6 +152,11 @@ func main() {
 	maxFamily := flag.Int("max-family", 4, "flatten merge chains into k-ary families of up to N members (2 = always nest pairwise)")
 	rounds := flag.Int("rounds", 1, "re-optimize each module up to N times through one session (0 = to fixpoint); chains form across rounds, so flattening needs N > 1")
 	jobs := flag.Int("jobs", 1, "parallel planning workers (0 = all CPUs)")
+	commitJobs := flag.Int("commit-jobs", 1, "component-parallel commit workers (0 = all CPUs, 1 = serial walk); committed merges are bit-identical at any value")
+	lshBudget := flag.Int("lsh-budget", 0, "resident LSH band buckets before cold buckets spill to compact blobs (0 = unbounded); candidate lists are identical at any budget")
+	corpusTier := flag.String("corpus", "", "optimize a generated synthetic corpus at this tier (10k, 100k, 1m or a function count) instead of reading input files")
+	scaleTiers := flag.String("scale", "", "benchmark mode: stream each comma-separated corpus tier through a session (unbounded and bounded LSH) and write a JSON artifact")
+	scaleOut := flag.String("scale-out", "BENCH_scale.json", "output file for the -scale artifact (\"-\" = stdout)")
 	verbose := flag.Bool("v", false, "report per-stage progress on stderr")
 	print := flag.Bool("print", false, "print the resulting module(s) to stdout")
 	pair := flag.String("pair", "", "merge exactly this comma-separated function pair, unconditionally (SalSSA variants only)")
@@ -133,7 +165,18 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file")
 	flag.Parse()
-	if flag.NArg() < 1 {
+	if *scaleTiers != "" {
+		if flag.NArg() > 0 || *corpusTier != "" || *pair != "" || *planOut != "" || *applyIn != "" {
+			fatal(fmt.Errorf("-scale runs standalone: no input files, -corpus, -pair, -plan or -apply"))
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runScale(ctx, strings.Split(*scaleTiers, ","), *lshBudget, *commitJobs, *scaleOut, *verbose); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if flag.NArg() < 1 && *corpusTier == "" {
 		fmt.Fprintln(os.Stderr, "usage: fmerge [flags] file.ll [file2.ll ...]")
 		flag.PrintDefaults()
 		os.Exit(2)
@@ -146,6 +189,21 @@ func main() {
 	}
 	if (*planOut != "" || *applyIn != "" || *pair != "") && flag.NArg() != 1 {
 		fatal(fmt.Errorf("-plan, -apply and -pair take exactly one input file"))
+	}
+	// -corpus replaces the input files with one generated module; the
+	// whole-module pipeline is the only mode that makes sense for it.
+	var corpusCfg corpus.Config
+	if *corpusTier != "" {
+		if flag.NArg() > 0 {
+			fatal(fmt.Errorf("-corpus and input files are mutually exclusive"))
+		}
+		if *pair != "" || *planOut != "" || *applyIn != "" {
+			fatal(fmt.Errorf("-corpus cannot be combined with -pair, -plan or -apply"))
+		}
+		var err error
+		if corpusCfg, err = corpus.Tier(*corpusTier); err != nil {
+			fatal(err)
+		}
 	}
 	var tgt repro.Target
 	switch *target {
@@ -184,6 +242,8 @@ func main() {
 		repro.WithCanon(*canonFlag),
 		repro.WithMaxFamily(*maxFamily),
 		repro.WithParallelism(*jobs),
+		repro.WithCommitParallelism(*commitJobs),
+		repro.WithLSHBudget(*lshBudget),
 	}
 	if *skipHot != "" {
 		opts = append(opts, repro.WithSkipHot(strings.Split(*skipHot, ",")...))
@@ -258,16 +318,28 @@ func main() {
 		fatal(err)
 	}
 
+	inputs := flag.Args()
+	if *corpusTier != "" {
+		inputs = []string{"corpus:" + *corpusTier}
+	}
 	var totalBefore, totalAfter, batchMerges, processed int
 	sawErr := false
-	for _, path := range flag.Args() {
-		src, err := os.ReadFile(path)
-		if err != nil {
-			fatalClean(err)
-		}
-		m, err := repro.ParseModule(string(src))
-		if err != nil {
-			fatalClean(fmt.Errorf("%s: %w", path, err))
+	for _, path := range inputs {
+		var m *repro.Module
+		if *corpusTier != "" {
+			start := time.Now()
+			m = corpus.Build(corpusCfg)
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "corpus: generated %d functions in %v\n", corpusCfg.Funcs, time.Since(start).Round(time.Millisecond))
+			}
+		} else {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fatalClean(err)
+			}
+			if m, err = repro.ParseModule(string(src)); err != nil {
+				fatalClean(fmt.Errorf("%s: %w", path, err))
+			}
 		}
 		label := ""
 		if flag.NArg() > 1 {
@@ -472,6 +544,10 @@ func reportModule(rep *repro.Report, label string, verbose bool, finder string) 
 		ac := rep.AlignCache
 		fmt.Fprintf(os.Stderr, "align: %d sequences interned (%d classes), %d cache hits\n",
 			ac.Misses, ac.Classes, ac.Hits)
+		if rep.Components > 0 {
+			fmt.Fprintf(os.Stderr, "commit: %d components walked in parallel, %d rows transplanted, %d repaired\n",
+				rep.Components, rep.Transplanted, rep.Repaired)
+		}
 		if rep.Families > 0 {
 			sizes := make([]int, 0, len(rep.FamilySizes))
 			for size := range rep.FamilySizes {

@@ -1,0 +1,291 @@
+// scale.go implements fmerge's -scale benchmark mode: each requested
+// corpus tier is streamed batch-by-batch into a session over the LSH
+// finder, fully optimized, and accounted — wall-clock per phase, peak
+// sampled heap, post-index live heap, bytes saved and the finder's
+// spill statistics. Every tier runs twice, unbounded and under an LSH
+// bucket budget, so one artifact records what bounding the index
+// actually buys in resident memory at that scale. CI runs the 10k tier
+// on every push and archives the JSON as BENCH_scale.json; the 1M tier
+// is a manually-dispatched job.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	repro "repro"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/search"
+)
+
+// scaleRun is one (tier, budget) measurement in the artifact.
+type scaleRun struct {
+	Tier       string `json:"tier"`
+	Funcs      int    `json:"funcs"`
+	LSHBudget  int    `json:"lsh_budget"` // resident-bucket bound; 0 = unbounded
+	CommitJobs int    `json:"commit_jobs"`
+
+	GenerateSecs float64 `json:"generate_secs"`
+	IndexSecs    float64 `json:"index_secs"`
+	OptimizeSecs float64 `json:"optimize_secs"`
+	WallSecs     float64 `json:"wall_secs"`
+
+	// PeakHeapBytes is the maximum sampled runtime.MemStats.HeapInuse
+	// over the whole run; IndexedHeapBytes is HeapAlloc after indexing
+	// completes and a forced GC — live bytes, where the spilled and
+	// unbounded runs differ by the index representation (the module
+	// itself is identical). At scale the module dominates live bytes
+	// and allocator placement adds noise on that baseline, so the
+	// acceptance comparison uses the index's own storage instead:
+	// IndexResidentBytes (hot bucket footprint after indexing) plus
+	// SpillBytes, bounded vs unbounded.
+	PeakHeapBytes      uint64 `json:"peak_heap_bytes"`
+	IndexedHeapBytes   uint64 `json:"indexed_heap_bytes"`
+	IndexResidentBytes int    `json:"index_resident_bytes"`
+	IndexSpillBytes    int    `json:"index_spill_bytes"`
+
+	BaselineBytes int `json:"baseline_bytes"`
+	FinalBytes    int `json:"final_bytes"`
+	SavedBytes    int `json:"saved_bytes"`
+	Merges        int `json:"merges"`
+	Folds         int `json:"folds"`
+
+	// Component-parallel commit accounting (zero when commit_jobs == 1).
+	Components   int `json:"components,omitempty"`
+	Transplanted int `json:"transplanted,omitempty"`
+	Repaired     int `json:"repaired,omitempty"`
+
+	// LSH spill accounting at the end of the run.
+	ResidentBuckets int   `json:"resident_buckets"`
+	SpilledBuckets  int   `json:"spilled_buckets"`
+	SpillBytes      int   `json:"spill_bytes"`
+	BucketFaults    int64 `json:"bucket_faults"`
+}
+
+type scaleReport struct {
+	Runs []scaleRun `json:"runs"`
+}
+
+// defaultScaleBudget is the bounded-run bucket budget when -lsh-budget
+// is left at 0: small enough that every tier spills most of its
+// buckets, large enough that the hot working set of a query burst stays
+// resident.
+const defaultScaleBudget = 4096
+
+// runScale executes the benchmark matrix and writes the JSON artifact.
+func runScale(ctx context.Context, tiers []string, budget, commitJobs int, out string, verbose bool) error {
+	if budget <= 0 {
+		budget = defaultScaleBudget
+	}
+	var rep scaleReport
+	for _, tier := range tiers {
+		cfg, err := corpus.Tier(tier)
+		if err != nil {
+			return err
+		}
+		for _, b := range []int{0, budget} {
+			run, err := scaleOnce(ctx, tier, cfg, b, commitJobs, verbose)
+			if err != nil {
+				return err
+			}
+			rep.Runs = append(rep.Runs, *run)
+		}
+	}
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "scale: wrote %d runs to %s\n", len(rep.Runs), out)
+	return nil
+}
+
+// scaleOnce streams one corpus into a fresh session and optimizes it,
+// measuring as it goes. The generate and index phases interleave (that
+// is the point of the streaming generator: no tier-sized scratch), so
+// their times are accumulated separately across batches.
+func scaleOnce(ctx context.Context, tier string, cfg corpus.Config, budget, commitJobs int, verbose bool) (*scaleRun, error) {
+	lsh, err := search.KindByName("lsh")
+	if err != nil {
+		return nil, err
+	}
+	opt, err := repro.New(
+		repro.WithFinder(lsh),
+		repro.WithDupFold(true),
+		repro.WithLSHBudget(budget),
+		repro.WithCommitParallelism(commitJobs),
+		repro.WithParallelism(0),
+		// Family flattening pins the commit walk to the serial path
+		// (its registry depends on global walk state), so the benchmark
+		// disables it to let -commit-jobs engage.
+		repro.WithMaxFamily(2),
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	runtime.GC() // settle the previous run's garbage before sampling
+	sampler := startHeapSampler()
+	wall0 := time.Now()
+
+	m := ir.NewModule()
+	st := corpus.NewStream(m, cfg)
+	s, err := opt.Open(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	var genDur, idxDur time.Duration
+	for {
+		t0 := time.Now()
+		batch := st.Next()
+		genDur += time.Since(t0)
+		if batch == nil {
+			break
+		}
+		names := make([]string, len(batch))
+		for i, f := range batch {
+			names[i] = f.Name()
+		}
+		t1 := time.Now()
+		if err := s.UpdateBatch(ctx, names, nil); err != nil {
+			return nil, err
+		}
+		// Flush per batch: the streaming consumer's shape — each batch is
+		// re-indexed in one pass as it arrives, so index cost lands here
+		// instead of inside the first Optimize.
+		if err := s.Flush(); err != nil {
+			return nil, err
+		}
+		idxDur += time.Since(t1)
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	indexed := ms.HeapAlloc
+	idxStats, err := s.SearchStats()
+	if err != nil {
+		return nil, err
+	}
+
+	opt0 := time.Now()
+	r, err := s.Optimize(ctx)
+	optDur := time.Since(opt0)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := s.SearchStats()
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(wall0)
+	peak := sampler.stopPeak()
+
+	run := &scaleRun{
+		Tier:       tier,
+		Funcs:      cfg.Funcs,
+		LSHBudget:  budget,
+		CommitJobs: opt.CommitParallelism(),
+
+		GenerateSecs: genDur.Seconds(),
+		IndexSecs:    idxDur.Seconds(),
+		OptimizeSecs: optDur.Seconds(),
+		WallSecs:     wall.Seconds(),
+
+		PeakHeapBytes:      peak,
+		IndexedHeapBytes:   indexed,
+		IndexResidentBytes: idxStats.ResidentBytes,
+		IndexSpillBytes:    idxStats.SpillBytes,
+
+		BaselineBytes: r.BaselineBytes,
+		FinalBytes:    r.FinalBytes,
+		SavedBytes:    r.BaselineBytes - r.FinalBytes,
+		Merges:        len(r.Merges),
+		Folds:         len(r.Folds),
+
+		Components:   r.Components,
+		Transplanted: r.Transplanted,
+		Repaired:     r.Repaired,
+
+		ResidentBuckets: stats.ResidentBuckets,
+		SpilledBuckets:  stats.SpilledBuckets,
+		SpillBytes:      stats.SpillBytes,
+		BucketFaults:    stats.BucketFaults,
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr,
+			"scale[%s budget=%d]: gen %.1fs index %.1fs optimize %.1fs | index %s resident + %s spilled, live heap %s, peak %s | saved %d bytes (%d merges, %d folds, %d spilled buckets)\n",
+			tier, budget, run.GenerateSecs, run.IndexSecs, run.OptimizeSecs,
+			fmtBytes(uint64(run.IndexResidentBytes)), fmtBytes(uint64(idxStats.SpillBytes)),
+			fmtBytes(indexed), fmtBytes(peak), run.SavedBytes, run.Merges, run.Folds, run.SpilledBuckets)
+	}
+	return run, nil
+}
+
+// heapSampler tracks peak HeapInuse on a 50ms tick. ReadMemStats
+// briefly stops the world, but at 20Hz the overhead is noise next to
+// the alignment DP the benchmark is measuring.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak atomic.Uint64
+}
+
+func startHeapSampler() *heapSampler {
+	hs := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(hs.done)
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapInuse > hs.peak.Load() {
+				hs.peak.Store(ms.HeapInuse)
+			}
+			select {
+			case <-hs.stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return hs
+}
+
+// stopPeak takes a final sample, stops the sampler and returns the peak.
+func (hs *heapSampler) stopPeak() uint64 {
+	close(hs.stop)
+	<-hs.done
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapInuse > hs.peak.Load() {
+		hs.peak.Store(ms.HeapInuse)
+	}
+	return hs.peak.Load()
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%dKiB", n>>10)
+	}
+}

@@ -1,0 +1,123 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func streamAll(cfg Config) (*ir.Module, [][]*ir.Function) {
+	m := ir.NewModule()
+	st := NewStream(m, cfg)
+	var batches [][]*ir.Function
+	for b := st.Next(); b != nil; b = st.Next() {
+		batches = append(batches, b)
+	}
+	return m, batches
+}
+
+// TestDeterminism: the same seed must produce byte-identical modules on
+// independent streams.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Funcs: 600, Seed: 42}
+	m1 := Build(cfg)
+	m2 := Build(cfg)
+	if m1.String() != m2.String() {
+		t.Fatalf("same seed produced different modules")
+	}
+	m3 := Build(Config{Funcs: 600, Seed: 43})
+	if m1.String() == m3.String() {
+		t.Fatalf("different seeds produced identical modules")
+	}
+}
+
+// TestBatchSizeInvariance: BatchSize controls delivery, never content.
+func TestBatchSizeInvariance(t *testing.T) {
+	small, _ := streamAll(Config{Funcs: 700, Seed: 9, BatchSize: 64})
+	large, _ := streamAll(Config{Funcs: 700, Seed: 9, BatchSize: 4096})
+	if small.String() != large.String() {
+		t.Fatalf("batch size changed generated corpus")
+	}
+}
+
+// TestStreamAccounting: batches cover exactly Funcs functions, families
+// never split across batches, and the distributions actually show up.
+func TestStreamAccounting(t *testing.T) {
+	cfg := Config{Funcs: 900, Seed: 21, BatchSize: 128}
+	m, batches := streamAll(cfg)
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+	if total != cfg.Funcs {
+		t.Fatalf("streamed %d functions, want %d", total, cfg.Funcs)
+	}
+	if got := len(m.Defined()); got != cfg.Funcs {
+		t.Fatalf("module defines %d functions, want %d", got, cfg.Funcs)
+	}
+	var fams, dups, uniq, lib int
+	seenFam := map[string]bool{}
+	for _, f := range m.Defined() {
+		name := f.Name()
+		switch {
+		case strings.HasPrefix(name, "corpus_f"):
+			fams++
+			seenFam[name[:len("corpus_f000000")]] = true
+		case strings.HasPrefix(name, "corpus_d"):
+			dups++
+		case strings.HasPrefix(name, "corpus_lib"):
+			lib++
+		case strings.HasPrefix(name, "corpus_u"):
+			uniq++
+		default:
+			t.Fatalf("unexpected function name %q", name)
+		}
+	}
+	if fams == 0 || dups == 0 || uniq == 0 || lib == 0 {
+		t.Fatalf("distribution missing a class: families=%d dups=%d unique=%d lib=%d", fams, dups, uniq, lib)
+	}
+	// Families must be contiguous within one batch.
+	for _, b := range batches {
+		members := map[string]int{}
+		for _, f := range b {
+			if strings.HasPrefix(f.Name(), "corpus_f") {
+				members[f.Name()[:len("corpus_f000000")]]++
+			}
+		}
+		for fam, n := range members {
+			if want := famSizes(m, fam); n != want {
+				t.Fatalf("family %s split across batches: %d of %d members in one batch", fam, n, want)
+			}
+		}
+	}
+}
+
+// famSizes counts the members of family fam in the whole module.
+func famSizes(m *ir.Module, fam string) int {
+	n := 0
+	for _, f := range m.Defined() {
+		if strings.HasPrefix(f.Name(), fam+"_m") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTier resolves the named tiers and raw counts.
+func TestTier(t *testing.T) {
+	for name, want := range map[string]int{"10k": 10_000, "100K": 100_000, "1m": 1_000_000, "2500": 2500} {
+		cfg, err := Tier(name)
+		if err != nil {
+			t.Fatalf("Tier(%q): %v", name, err)
+		}
+		if cfg.Funcs != want {
+			t.Fatalf("Tier(%q) = %d funcs, want %d", name, cfg.Funcs, want)
+		}
+	}
+	for _, bad := range []string{"", "huge", "-5", "0"} {
+		if _, err := Tier(bad); err == nil {
+			t.Fatalf("Tier(%q) unexpectedly succeeded", bad)
+		}
+	}
+}

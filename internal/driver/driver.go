@@ -184,6 +184,26 @@ type Config struct {
 	// the commit walk passes them); MaxCells bounds the per-trial
 	// alignment matrices.
 	Parallelism int
+	// CommitParallelism, when > 1, runs the commit walk
+	// component-parallel: the candidate graph is partitioned into
+	// connected components of LSH/fingerprint-candidate edges, each
+	// component's greedy walk runs speculatively on its own worker (up
+	// to this many at once) with dry-run overlays, and a serial
+	// validated replay commits the captured decisions in the global
+	// walk order — transplanting a component's decision only after
+	// proving its candidate list matches what the serial walk would see
+	// at that turn, and re-running the row serially otherwise. The
+	// committed module is bit-identical to the serial walk's at any
+	// value. Sessions with family tracking (MaxFamily >= 3) or a
+	// CommitFilter fall back to the serial walk; values <= 1 are the
+	// serial walk.
+	CommitParallelism int
+	// LSHBudget, when > 0 under search.KindLSH, bounds the number of
+	// resident LSH band buckets: the least recently written buckets
+	// beyond the budget spill to compact encoded blobs and are decoded
+	// on access. Candidate lists — and therefore the committed merge
+	// set — are identical at any budget; see search.NewIndexedBudget.
+	LSHBudget int
 	// Progress, when non-nil, observes pipeline events. Calls within one
 	// run are always serialized (plan events are emitted under the
 	// planner's lock, commit events from the committing goroutine), but
@@ -262,6 +282,13 @@ type Result struct {
 	// PeakMatrixBytes is the largest alignment matrix (Figure 22's
 	// peak-memory proxy); SumMatrixBytes accumulates all matrices.
 	PeakMatrixBytes, SumMatrixBytes int64
+	// Components, Transplanted and Repaired report the component-parallel
+	// commit walk (Config.CommitParallelism > 1): Components counts the
+	// multi-member candidate components whose walks ran in parallel,
+	// Transplanted the rows whose captured decision survived replay
+	// validation unchanged, and Repaired the rows re-run serially because
+	// the live candidate list had shifted. All zero for serial commits.
+	Components, Transplanted, Repaired int
 }
 
 // Reduction returns the percentage object-size reduction over the

@@ -3,6 +3,7 @@ package driver
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/align"
 	"repro/internal/canon"
@@ -59,6 +60,14 @@ type runner struct {
 	plan    *Plan
 	tomb    map[*ir.Function]bool
 	claimed map[string]bool
+
+	// Component-capture mode (components.go): order restricts the walk
+	// to one component's members, and capture records each row's
+	// filtered candidate list and chosen trial — retained, not
+	// committed — for the validated replay. capture implies dry-mode
+	// overlays (tombs) with no plan.
+	order   []*ir.Function
+	capture *captureLog
 }
 
 // lookup answers a finder query through the candidate-list cache:
@@ -194,11 +203,22 @@ func (r *runner) walk(ctx context.Context, candidates []*ir.Function) error {
 	cfg := r.cfg
 	res := r.res
 	m := r.m
+	if r.commitMode && cfg.CommitParallelism > 1 &&
+		cfg.CommitFilter == nil && r.families == nil {
+		// Component-parallel commit: capture per-component walks in
+		// parallel, then replay them serially with per-row validation
+		// (components.go). Family flattening and commit filters depend on
+		// global walk state, so they stay on the serial path.
+		return r.componentWalk(ctx, candidates)
+	}
 	if cfg.DupFold {
 		r.foldStep(candidates)
 	}
 	opts := cfg.CoreOptions()
-	order := r.finder.Order()
+	order := r.order
+	if order == nil {
+		order = r.finder.Order()
+	}
 	if !r.commitMode && len(r.tomb) > 0 {
 		kept := order[:0]
 		for _, f := range order {
@@ -258,7 +278,12 @@ commitLoop:
 		if r.families != nil && cfg.MaxFamily >= 3 {
 			extScan = map[*ir.Function]bool{}
 		}
-		for _, f2 := range r.candidates(f1, cfg.Threshold) {
+		row := r.candidates(f1, cfg.Threshold)
+		var snap Result
+		if r.capture != nil {
+			snap = *res
+		}
+		for _, f2 := range row {
 			if consumed[f2] {
 				continue
 			}
@@ -333,6 +358,23 @@ commitLoop:
 			}
 		}
 		release(f1)
+		if r.capture != nil {
+			// Record the row — the filtered list it saw, the chosen trial
+			// (retained; capture trials are always scratch-built) and the
+			// row's accounting delta — then tombstone as a dry run would.
+			// Nothing is planned, claimed or reported here; the validated
+			// replay re-emits whatever survives.
+			r.capture.rows = append(r.capture.rows, capturedRow{
+				f1: f1, list: row, best: best, stats: rowDelta(&snap, res),
+			})
+			if best != nil {
+				consumed[f1] = true
+				consumed[best.f2] = true
+				r.tomb[f1] = true
+				r.tomb[best.f2] = true
+			}
+			continue
+		}
 		if best == nil {
 			continue
 		}
@@ -432,9 +474,15 @@ commitLoop:
 // entries whenever its family breaks — without that hook a memoized
 // unprofitable flatten would suppress the (possibly profitable)
 // pairwise nest the pair gets once the family is gone. Trials that
-// error (cancellation, matrix caps) are never memoized. Only the
-// session goroutine touches the cache.
+// error (cancellation, matrix caps) are never memoized. The mutex
+// exists for the component-parallel commit walk, whose capture workers
+// read and write the cache concurrently; every other caller runs on
+// the session goroutine. Within one walk the memo never influences its
+// own rows (each row f1 is processed once and only row f1 touches
+// (f1, *) entries), so the write order across workers cannot affect
+// decisions.
 type outcomeCache struct {
+	mu sync.Mutex
 	// pairs[f1][f2] records the directed pair (f1, f2); rev[f2] lists
 	// the f1 rows an invalidation of f2 must visit.
 	pairs map[*ir.Function]map[*ir.Function]bool
@@ -451,7 +499,12 @@ func newOutcomeCache() *outcomeCache {
 // has reports whether (f1, f2) is memoized as unprofitable. A nil cache
 // (FMSA's throwaway runs) never hits.
 func (c *outcomeCache) has(f1, f2 *ir.Function) bool {
-	return c != nil && c.pairs[f1][f2]
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pairs[f1][f2]
 }
 
 // put memoizes (f1, f2) as unprofitable.
@@ -459,6 +512,8 @@ func (c *outcomeCache) put(f1, f2 *ir.Function) {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	row := c.pairs[f1]
 	if row == nil {
 		row = map[*ir.Function]bool{}
@@ -478,6 +533,8 @@ func (c *outcomeCache) invalidate(f *ir.Function) {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for f2 := range c.pairs[f] {
 		delete(c.rev[f2], f)
 		if len(c.rev[f2]) == 0 {

@@ -1,0 +1,238 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/canon"
+	"repro/internal/corpus"
+	"repro/internal/costmodel"
+	"repro/internal/ir"
+	"repro/internal/search"
+)
+
+// scaleFuncs picks the corpus size for the scale differentials: a fast
+// tier under -short, a moderate tier for plain `go test ./...` (which
+// must stay inside Go's default per-package timeout), and whatever
+// SCALE_CORPUS names for the acceptance-criterion run — the
+// workflow_dispatch CI job sets SCALE_CORPUS=10000 with an explicit
+// -timeout to prove the 10k tier under -race.
+func scaleFuncs(t *testing.T) int {
+	if testing.Short() {
+		return 400
+	}
+	if s := os.Getenv("SCALE_CORPUS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad SCALE_CORPUS %q", s)
+		}
+		return n
+	}
+	return 2000
+}
+
+func buildCorpus(t *testing.T, funcs int) *ir.Module {
+	t.Helper()
+	return corpus.Build(corpus.Config{Funcs: funcs, Seed: 7})
+}
+
+func optimizeCorpus(t *testing.T, funcs int, cfg Config) (*ir.Module, *Result) {
+	t.Helper()
+	m := buildCorpus(t, funcs)
+	s, err := OpenSession(context.Background(), m, cfg)
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	defer s.Close()
+	res, err := s.Optimize(context.Background())
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	return m, res
+}
+
+// TestComponentWalkMatchesSerial is the tentpole differential: the
+// component-parallel commit walk must produce bit-identical module text
+// and an identical merge record sequence to the serial walk, for both
+// finders, on the synthetic corpus.
+func TestComponentWalkMatchesSerial(t *testing.T) {
+	n := scaleFuncs(t)
+	for _, finder := range []search.Kind{search.KindExact, search.KindLSH} {
+		t.Run(fmt.Sprint(finder), func(t *testing.T) {
+			base := Config{
+				Algorithm: SalSSA, Threshold: 2, Target: costmodel.X86_64,
+				Finder: finder, DupFold: true,
+			}
+			par := base
+			par.CommitParallelism = 8
+			m1, res1 := optimizeCorpus(t, n, base)
+			m2, res2 := optimizeCorpus(t, n, par)
+			if res2.Components == 0 {
+				t.Errorf("parallel run reports zero components")
+			}
+			if res1.Components != 0 || res1.Transplanted != 0 || res1.Repaired != 0 {
+				t.Errorf("serial run reports component stats: %+v", res1)
+			}
+			if len(res1.Merges) != len(res2.Merges) {
+				t.Fatalf("merge count diverged: serial %d, parallel %d", len(res1.Merges), len(res2.Merges))
+			}
+			for i := range res1.Merges {
+				a, b := res1.Merges[i], res2.Merges[i]
+				if a.F1 != b.F1 || a.F2 != b.F2 || a.Merged != b.Merged || a.Profit != b.Profit || a.Committed != b.Committed {
+					t.Fatalf("merge %d diverged:\nserial   %+v\nparallel %+v", i, a, b)
+				}
+			}
+			if len(res1.Folds) != len(res2.Folds) {
+				t.Fatalf("fold count diverged: serial %d, parallel %d", len(res1.Folds), len(res2.Folds))
+			}
+			if s1, s2 := m1.String(), m2.String(); s1 != s2 {
+				t.Fatalf("module text diverged (serial %d bytes, parallel %d bytes)", len(s1), len(s2))
+			}
+			t.Logf("finder=%v funcs=%d merges=%d components=%d transplanted=%d repaired=%d",
+				finder, n, len(res2.Merges), res2.Components, res2.Transplanted, res2.Repaired)
+		})
+	}
+}
+
+// mutateCorpus applies a deterministic delta to m: removes some
+// functions, replaces the bodies of others (cloning a donor under the
+// victim's name) and adds a few new clones. Both sessions of the batch
+// differential apply the identical delta.
+func mutateCorpus(t *testing.T, m *ir.Module) (changed, removed []string) {
+	t.Helper()
+	var names []string
+	for _, f := range m.Defined() {
+		names = append(names, f.Name())
+	}
+	if len(names) < 80 {
+		t.Fatalf("corpus too small for delta: %d defined", len(names))
+	}
+	for i := 10; i < 60; i += 10 {
+		removed = append(removed, names[i])
+	}
+	for i := 15; i < 65; i += 10 {
+		name := names[i]
+		donor := m.FuncByName(names[i+50])
+		old := m.FuncByName(name)
+		m.RemoveFunc(old)
+		c, _ := ir.CloneFunction(donor, name)
+		m.AddFunc(c)
+		changed = append(changed, name)
+	}
+	for i := 0; i < 3; i++ {
+		donor := m.FuncByName(names[70+i])
+		name := fmt.Sprintf("spliced_new_%d", i)
+		c, _ := ir.CloneFunction(donor, name)
+		m.AddFunc(c)
+		changed = append(changed, name)
+	}
+	return changed, removed
+}
+
+// TestUpdateBatchMatchesSequential: one UpdateBatch of n deltas must
+// leave the session in the same state as n sequential Update/Remove
+// calls — same committed merge set, same module text — across both
+// finders and with canonicalization on and off.
+func TestUpdateBatchMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	for _, finder := range []search.Kind{search.KindExact, search.KindLSH} {
+		for _, canonOn := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%v/canon=%v", finder, canonOn), func(t *testing.T) {
+				cfg := Config{
+					Algorithm: SalSSA, Threshold: 2, Target: costmodel.X86_64,
+					Finder: finder, DupFold: true,
+				}
+				if canonOn {
+					cfg.Canon = canon.Default()
+				}
+				run := func(batch bool) (*ir.Module, *Result) {
+					m := corpus.Build(corpus.Config{Funcs: 150, Seed: 11})
+					s, err := OpenSession(ctx, m, cfg)
+					if err != nil {
+						t.Fatalf("OpenSession: %v", err)
+					}
+					defer s.Close()
+					if _, err := s.Optimize(ctx); err != nil {
+						t.Fatalf("first Optimize: %v", err)
+					}
+					changed, removed := mutateCorpus(t, m)
+					if batch {
+						if err := s.UpdateBatch(ctx, changed, removed); err != nil {
+							t.Fatalf("UpdateBatch: %v", err)
+						}
+					} else {
+						for _, name := range changed {
+							if err := s.Update(ctx, name); err != nil {
+								t.Fatalf("Update(%q): %v", name, err)
+							}
+						}
+						for _, name := range removed {
+							if err := s.Remove(ctx, name); err != nil {
+								t.Fatalf("Remove(%q): %v", name, err)
+							}
+						}
+					}
+					res, err := s.Optimize(ctx)
+					if err != nil {
+						t.Fatalf("second Optimize: %v", err)
+					}
+					return m, res
+				}
+				m1, res1 := run(false)
+				m2, res2 := run(true)
+				if len(res1.Merges) != len(res2.Merges) {
+					t.Fatalf("merge count diverged: sequential %d, batch %d", len(res1.Merges), len(res2.Merges))
+				}
+				for i := range res1.Merges {
+					a, b := res1.Merges[i], res2.Merges[i]
+					if a.F1 != b.F1 || a.F2 != b.F2 || a.Merged != b.Merged || a.Profit != b.Profit {
+						t.Fatalf("merge %d diverged:\nsequential %+v\nbatch      %+v", i, a, b)
+					}
+				}
+				if s1, s2 := m1.String(), m2.String(); s1 != s2 {
+					t.Fatalf("module text diverged (sequential %d bytes, batch %d bytes)", len(s1), len(s2))
+				}
+			})
+		}
+	}
+}
+
+// TestUpdateBatchConflict: a batch naming the same function as both
+// updated and removed is incoherent and must be rejected with
+// ErrConflictingDelta before any mark lands.
+func TestUpdateBatchConflict(t *testing.T) {
+	ctx := context.Background()
+	m := corpus.Build(corpus.Config{Funcs: 40, Seed: 3})
+	s, err := OpenSession(ctx, m, Config{Algorithm: SalSSA, Threshold: 2, Target: costmodel.X86_64})
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	defer s.Close()
+	var name string
+	for _, f := range m.Defined() {
+		name = f.Name()
+		break
+	}
+	err = s.UpdateBatch(ctx, []string{name}, []string{name})
+	if !errors.Is(err, ErrConflictingDelta) {
+		t.Fatalf("conflicting batch: got %v, want ErrConflictingDelta", err)
+	}
+	if len(s.pending) != 0 {
+		t.Fatalf("rejected batch left %d pending marks", len(s.pending))
+	}
+	err = s.UpdateBatch(ctx, []string{"no_such_function"}, nil)
+	if !errors.Is(err, ErrUnknownFunction) {
+		t.Fatalf("unknown update in batch: got %v, want ErrUnknownFunction", err)
+	}
+	err = s.UpdateBatch(ctx, nil, []string{"no_such_function"})
+	if !errors.Is(err, ErrUnknownFunction) {
+		t.Fatalf("unknown remove in batch: got %v, want ErrUnknownFunction", err)
+	}
+	if len(s.pending) != 0 {
+		t.Fatalf("rejected batches left %d pending marks", len(s.pending))
+	}
+}

@@ -194,7 +194,7 @@ func (s *Session) buildIndexes() {
 		candidates = append(candidates, f)
 		s.index(f)
 	}
-	s.finder = search.NewIndexed(s.cfg.Finder, candidates, s.cache, s.bodySource())
+	s.finder = search.NewIndexedBudget(s.cfg.Finder, candidates, s.cache, s.bodySource(), s.cfg.LSHBudget)
 	s.lastSearch, s.lastCache = search.Stats{}, align.CacheStats{}
 }
 
@@ -294,13 +294,25 @@ func (s *Session) sync() {
 		}
 		s.outcomes.invalidate(f)
 		s.cache.Invalidate(f)
-		// The view must be dropped before the finder re-indexes: Add
-		// fingerprints/sketches through the lens, so a stale view here
-		// would silently re-index the pre-edit body.
+		// The view must be dropped before the finder re-indexes: the
+		// finder fingerprints/sketches through the lens, so a stale view
+		// here would silently re-index the pre-edit body.
 		s.lens.Invalidate(f)
-		s.finder.Add(f)
 		s.index(f)
 		changed = append(changed, f)
+	}
+	// One finder pass for the whole delta: a batch-aware finder
+	// re-indexes every changed function under a single rebuild window
+	// (one lock acquisition, one size-list sort) instead of paying a
+	// per-function sorted insertion n times — the difference between a
+	// 100k-function batch being O((n+k) log n) and O(k·n). Results are
+	// identical to sequential Adds; only the work is batched.
+	if bi, ok := s.finder.(search.BatchIndexer); ok && len(changed) > 1 {
+		bi.AddBatch(changed)
+	} else {
+		for _, f := range changed {
+			s.finder.Add(f)
+		}
 	}
 	// applyDelta re-fingerprints each *delta* function once more (the
 	// finder keeps its fingerprints private) — one extra instruction
@@ -461,6 +473,103 @@ func (s *Session) Remove(ctx context.Context, names ...string) error {
 			s.pending[f] = false
 		}
 	}
+	return nil
+}
+
+// ErrConflictingDelta is wrapped by UpdateBatch when one batch asks to
+// both update and remove the same name. Sequential Update-then-Remove
+// calls have a well-defined outcome (last mark wins), but inside a
+// single batch the order is meaningless — the conflict means the
+// caller's edit log is incoherent, which a merge service must surface,
+// not arbitrate. Test with errors.Is.
+var ErrConflictingDelta = fmt.Errorf("conflicting delta")
+
+// UpdateBatch marks n updates and m removals as one delta. Semantically
+// it is Update(changed...) followed by Remove(removed...) — same
+// validation, same ErrUnknownFunction on a diverged name — with two
+// differences: a name in both sets fails with an error wrapping
+// ErrConflictingDelta, and the whole batch is validated before any name
+// takes effect. All marks then share the next sync's single re-index
+// window: one batched finder rebuild pass, one candidate-cache radius
+// invalidation sweep, one lens invalidation set, no matter how many
+// deltas the batch carried. That window is what makes streaming a
+// 100k-function corpus into a session linear instead of quadratic.
+func (s *Session) UpdateBatch(ctx context.Context, changed, removed []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	rm := make(map[string]bool, len(removed))
+	for _, name := range removed {
+		rm[name] = true
+	}
+	for _, name := range changed {
+		if rm[name] {
+			return fmt.Errorf("driver: UpdateBatch(%q): update and remove in one batch: %w", name, ErrConflictingDelta)
+		}
+		if s.m.FuncByName(name) == nil && s.byName[name] == nil {
+			return fmt.Errorf("driver: UpdateBatch(%q): %w", name, ErrUnknownFunction)
+		}
+	}
+	for _, name := range removed {
+		if s.byName[name] == nil && s.m.FuncByName(name) == nil {
+			return fmt.Errorf("driver: UpdateBatch(remove %q): %w", name, ErrUnknownFunction)
+		}
+	}
+	for _, name := range changed {
+		if f := s.m.FuncByName(name); f != nil {
+			// Same rename/replace routing as Update: see the comment there.
+			if old := s.byName[name]; old != nil && old != f {
+				if _, seen := s.pending[old]; !seen {
+					s.pending[old] = true
+				}
+			}
+			s.pending[f] = true
+			continue
+		}
+		if f := s.byName[name]; f != nil {
+			s.pending[f] = false
+		}
+	}
+	for _, name := range removed {
+		f := s.byName[name]
+		if f == nil {
+			f = s.m.FuncByName(name)
+		}
+		if f != nil {
+			s.pending[f] = false
+		}
+	}
+	return nil
+}
+
+// RemoveBatch drops the named functions as one delta. Remove already
+// validates and marks its whole argument list in a single pass, so this
+// is the same operation under the batch-shaped name; it exists for
+// symmetry with UpdateBatch.
+func (s *Session) RemoveBatch(ctx context.Context, names []string) error {
+	return s.Remove(ctx, names...)
+}
+
+// Flush applies the pending index maintenance now instead of at the
+// next Optimize/Plan/Apply: every function marked by Update, Remove or
+// UpdateBatch since the last sync is re-fingerprinted, re-sketched and
+// re-linearized (or dropped) in one batched pass. Flush changes when
+// the work happens, never its outcome — callers that prefer paying
+// re-index cost at update time (a serving daemon smoothing query
+// latency, a benchmark attributing phases) call it; everyone else lets
+// the next run absorb the same single window.
+func (s *Session) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	s.sync()
 	return nil
 }
 

@@ -352,7 +352,7 @@ func (s *Session) buildIndexesFrom(snap *Snapshot) {
 			s.lens.Prime(f, sf.CanonHash)
 		}
 	}
-	s.finder = search.RestoreIndexed(s.cfg.Finder, candidates, s.cache, s.bodySource(), prior)
+	s.finder = search.RestoreIndexedBudget(s.cfg.Finder, candidates, s.cache, s.bodySource(), prior, s.cfg.LSHBudget)
 	for _, pair := range snap.Outcomes {
 		i1, i2 := pair[0], pair[1]
 		if i1 < 0 || i1 >= len(matched) || i2 < 0 || i2 >= len(matched) {

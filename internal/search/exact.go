@@ -67,6 +67,24 @@ func (e *Exact) Add(f *ir.Function) {
 	e.mu.Unlock()
 }
 
+// AddBatch (re-)indexes a batch of functions. The ranking's Add is
+// already O(1) amortized, so the batch form only saves lock traffic;
+// it exists so Exact satisfies BatchIndexer and batched session deltas
+// take one code path for both finders.
+func (e *Exact) AddBatch(fs []*ir.Function) {
+	n := 0
+	for _, f := range fs {
+		if f.IsDecl() {
+			continue
+		}
+		e.r.Add(f)
+		n++
+	}
+	e.mu.Lock()
+	e.stats.Built += n
+	e.mu.Unlock()
+}
+
 // Remove drops f from future candidate lists.
 func (e *Exact) Remove(f *ir.Function) { e.r.Remove(f) }
 

@@ -52,10 +52,14 @@ type LSH struct {
 	// size list stay keyed by the original function.
 	view BodySource
 
-	mu    sync.RWMutex
-	fps   map[*ir.Function]*fingerprint.Fingerprint
-	keys  map[*ir.Function][]uint64 // band keys, len lshBands
-	bands []map[uint64][]*ir.Function
+	mu   sync.RWMutex
+	fps  map[*ir.Function]*fingerprint.Fingerprint
+	keys map[*ir.Function][]uint64 // band keys, len lshBands
+	// store holds the band buckets, optionally behind a residency
+	// budget that spills cold buckets to encoded id blobs (see
+	// bucketStore). Spilling never changes a query result — buckets only
+	// seed the exact branch-and-bound below.
+	store *bucketStore
 	// bySize is sorted by (fingerprint size, name): the deterministic
 	// fallback pool when a query's buckets run sparse, exploiting
 	// Distance(a, b) >= |a.Size - b.Size|.
@@ -72,23 +76,22 @@ func NewLSH(funcs []*ir.Function) *LSH { return NewLSHWithClasses(funcs, nil) }
 // NewLSHWithClasses is NewLSH with an optional class source for the
 // sketches (see NewWithClasses).
 func NewLSHWithClasses(funcs []*ir.Function, src ClassSource) *LSH {
-	return newLSH(funcs, src, nil, nil)
+	return newLSH(funcs, src, nil, nil, 0)
 }
 
 // newLSH is the bulk constructor behind NewLSH, search.NewIndexed and
 // search.RestoreIndexed: functions covered by prior adopt their snapshot
 // fingerprint and band keys, everything else is sketched from scratch
 // (and counted in Stats.Built) — through the view lens when one is set.
-func newLSH(funcs []*ir.Function, src ClassSource, view BodySource, prior map[*ir.Function]FuncIndex) *LSH {
+// budget > 0 bounds the number of resident band buckets; the rest spill
+// (see bucketStore).
+func newLSH(funcs []*ir.Function, src ClassSource, view BodySource, prior map[*ir.Function]FuncIndex, budget int) *LSH {
 	l := &LSH{
 		classes: src,
 		view:    view,
 		fps:     make(map[*ir.Function]*fingerprint.Fingerprint, len(funcs)),
 		keys:    make(map[*ir.Function][]uint64, len(funcs)),
-		bands:   make([]map[uint64][]*ir.Function, lshBands),
-	}
-	for i := range l.bands {
-		l.bands[i] = map[uint64][]*ir.Function{}
+		store:   newBucketStore(budget),
 	}
 	for _, f := range funcs {
 		if f.IsDecl() {
@@ -125,7 +128,7 @@ func (l *LSH) adoptLocked(f *ir.Function, fp *fingerprint.Fingerprint, keys []ui
 	l.fps[f] = fp
 	l.keys[f] = keys
 	for b, k := range keys {
-		l.bands[b][k] = append(l.bands[b][k], f)
+		l.store.add(b, k, f)
 	}
 	l.stats.Indexed++
 }
@@ -261,7 +264,7 @@ func (l *LSH) indexLocked(f *ir.Function) {
 	keys := l.sketch(body)
 	l.keys[f] = keys
 	for b, k := range keys {
-		l.bands[b][k] = append(l.bands[b][k], f)
+		l.store.add(b, k, f)
 	}
 	l.stats.Indexed++
 	l.stats.Built++
@@ -285,6 +288,28 @@ func (l *LSH) Add(f *ir.Function) {
 	l.bySize[i] = f
 }
 
+// AddBatch (re-)indexes a batch of functions in one pass: every
+// function is removed and re-sketched under a single lock acquisition
+// and the size list is appended to and sorted once — O((n+k) log n) for
+// k additions against Add's O(k·n) of per-function sorted insertions,
+// the difference between a million-function batch being a rebuild and
+// being an afternoon. Results are identical to k sequential Adds.
+func (l *LSH) AddBatch(fs []*ir.Function) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, f := range fs {
+		if f.IsDecl() {
+			continue
+		}
+		if _, ok := l.fps[f]; ok {
+			l.removeLocked(f)
+		}
+		l.indexLocked(f)
+		l.bySize = append(l.bySize, f)
+	}
+	sort.SliceStable(l.bySize, func(i, j int) bool { return l.sizeLess(l.bySize[i], l.bySize[j]) })
+}
+
 // Remove drops f from future candidate lists.
 func (l *LSH) Remove(f *ir.Function) {
 	l.mu.Lock()
@@ -297,19 +322,9 @@ func (l *LSH) removeLocked(f *ir.Function) {
 		return
 	}
 	for b, k := range l.keys[f] {
-		bucket := l.bands[b][k]
-		for i, g := range bucket {
-			if g == f {
-				bucket = append(bucket[:i], bucket[i+1:]...)
-				break
-			}
-		}
-		if len(bucket) == 0 {
-			delete(l.bands[b], k)
-		} else {
-			l.bands[b][k] = bucket
-		}
+		l.store.remove(b, k, f)
 	}
+	l.store.dropID(f)
 	// The sorted position is computed from f's *current* (size, name);
 	// if f was renamed since it was indexed, its entry sorts elsewhere
 	// in the equal-size run, so fall back to a full scan rather than
@@ -397,7 +412,7 @@ func (l *LSH) Candidates(f *ir.Function, t int) []*ir.Function {
 			return best[len(best)-1].d
 		}
 		for b, k := range l.keys[f] {
-			for _, g := range l.bands[b][k] {
+			for _, g := range l.store.peek(b, k) {
 				if !seen[g] {
 					score(g)
 				}
@@ -469,9 +484,17 @@ func (l *LSH) Order() []*ir.Function {
 	return out
 }
 
-// Stats returns the accumulated accounting.
+// Stats returns the accumulated accounting, including the bucket
+// store's residency split so a bounded index's memory ceiling is
+// observable.
 func (l *LSH) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.stats
+	st := l.stats
+	st.ResidentBuckets = len(l.store.hot)
+	st.SpilledBuckets = len(l.store.cold)
+	st.SpillBytes = l.store.spillBytes
+	st.BucketFaults = l.store.faults.Load()
+	st.ResidentBytes = l.store.residentBytes()
+	return st
 }

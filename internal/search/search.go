@@ -48,6 +48,15 @@ type Finder interface {
 	Stats() Stats
 }
 
+// BatchIndexer is the optional bulk half of Finder: a finder that can
+// (re-)index n functions in one pass implements it, and the driver's
+// batched session deltas (Session.UpdateBatch) prefer it over n
+// sequential Add calls. AddBatch must be equivalent to calling Add on
+// each function in order. Both finders in this package implement it.
+type BatchIndexer interface {
+	AddBatch(fs []*ir.Function)
+}
+
 // Stats accounts for the work a Finder did. The driver folds it into the
 // run report; cmd/fmerge -v prints it.
 type Stats struct {
@@ -67,6 +76,22 @@ type Stats struct {
 	// functions whose snapshot entries could not be reused, which is how
 	// warm restarts are asserted to skip the rebuild.
 	Built int
+	// ResidentBuckets/SpilledBuckets split a budgeted LSH index's band
+	// buckets into hot (live slices) and cold (spilled to encoded id
+	// blobs of SpillBytes total); BucketFaults counts queries that had
+	// to decode a cold bucket. Spill fields are zero under KindExact or
+	// an unbounded LSH index.
+	ResidentBuckets int
+	SpilledBuckets  int
+	SpillBytes      int
+	BucketFaults    int64
+	// ResidentBytes estimates the live-heap footprint of the hot
+	// buckets (slice payloads plus per-bucket bookkeeping). The
+	// bucket storage a budget governs is ResidentBytes + SpillBytes;
+	// comparing that sum against an unbounded index's ResidentBytes is
+	// the bounded-memory acceptance signal in BENCH_scale.json,
+	// deliberately independent of whole-process heap noise.
+	ResidentBytes int
 }
 
 // AvgScanned returns the mean number of candidates scored per query.
@@ -151,8 +176,18 @@ type BodySource interface {
 // traffic, unfolded constants, commuted operands, spurious blocks)
 // invisible to discovery.
 func NewIndexed(kind Kind, funcs []*ir.Function, src ClassSource, view BodySource) Finder {
+	return NewIndexedBudget(kind, funcs, src, view, 0)
+}
+
+// NewIndexedBudget is NewIndexed with a residency budget for the LSH
+// bucket store: budget > 0 keeps at most that many band buckets hot and
+// spills the rest to compact encoded blobs (Stats reports the split).
+// Candidate lists are identical at any budget — buckets only seed the
+// exact branch-and-bound — so the budget trades decode work for
+// resident memory, never recall. Ignored under KindExact.
+func NewIndexedBudget(kind Kind, funcs []*ir.Function, src ClassSource, view BodySource, budget int) Finder {
 	if kind == KindLSH {
-		return newLSH(funcs, src, view, nil)
+		return newLSH(funcs, src, view, nil, budget)
 	}
 	return restoreExact(funcs, view, nil)
 }
@@ -200,8 +235,14 @@ func Restore(kind Kind, funcs []*ir.Function, src ClassSource, prior map[*ir.Fun
 // validation guard precisely so restored sketches and freshly indexed
 // views share one hash space.
 func RestoreIndexed(kind Kind, funcs []*ir.Function, src ClassSource, view BodySource, prior map[*ir.Function]FuncIndex) Finder {
+	return RestoreIndexedBudget(kind, funcs, src, view, prior, 0)
+}
+
+// RestoreIndexedBudget is RestoreIndexed with an LSH bucket residency
+// budget (see NewIndexedBudget).
+func RestoreIndexedBudget(kind Kind, funcs []*ir.Function, src ClassSource, view BodySource, prior map[*ir.Function]FuncIndex, budget int) Finder {
 	if kind == KindLSH {
-		return newLSH(funcs, src, view, prior)
+		return newLSH(funcs, src, view, prior, budget)
 	}
 	fps := make(map[*ir.Function]*fingerprint.Fingerprint, len(prior))
 	for fn, fi := range prior {

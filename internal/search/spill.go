@@ -1,0 +1,244 @@
+package search
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/ir"
+)
+
+// bucketStore holds the LSH band buckets behind an optional residency
+// budget. Unbounded, a million-function index keeps every bucket as a
+// live []*ir.Function slice — lshBands pointers per function of pure
+// bookkeeping. Bounded, only the `budget` most recently written buckets
+// stay hot; the rest spill to a varint-delta-encoded blob of function
+// ids (a few bytes per member instead of a pointer plus slice header).
+//
+// Spilling cannot change any query result: buckets only seed the
+// branch-and-bound in Candidates, and a decoded cold bucket yields
+// exactly the functions the hot slice held. The trade is purely
+// decode work (counted in BucketFaults) for resident memory.
+//
+// Locking contract: mutating calls (add, remove, and the eviction they
+// trigger) run under the owning LSH's write lock. peek runs under the
+// read lock and therefore never mutates the store — cold buckets are
+// decoded into a fresh slice and NOT promoted, and the fault counter is
+// atomic. Recency is tracked on writes only; with the streaming-build
+// access pattern that motivates the budget (index batches once, query
+// later), write recency is what predicts further writes.
+type bucketStore struct {
+	budget int // max hot buckets; <= 0 means unbounded
+	hot    map[bucketKey]*hotBucket
+	cold   map[bucketKey][]byte
+	// LRU over hot buckets; head is most recently written.
+	head, tail *hotBucket
+
+	ids    map[*ir.Function]uint32
+	byID   map[uint32]*ir.Function
+	nextID uint32
+
+	spillBytes int
+	faults     atomic.Int64
+}
+
+type bucketKey struct {
+	band int
+	key  uint64
+}
+
+type hotBucket struct {
+	k          bucketKey
+	fns        []*ir.Function
+	prev, next *hotBucket
+}
+
+func newBucketStore(budget int) *bucketStore {
+	return &bucketStore{
+		budget: budget,
+		hot:    map[bucketKey]*hotBucket{},
+		cold:   map[bucketKey][]byte{},
+		ids:    map[*ir.Function]uint32{},
+		byID:   map[uint32]*ir.Function{},
+	}
+}
+
+func (s *bucketStore) unlink(b *hotBucket) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		s.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		s.tail = b.prev
+	}
+	b.prev, b.next = nil, nil
+}
+
+func (s *bucketStore) pushFront(b *hotBucket) {
+	b.next = s.head
+	if s.head != nil {
+		s.head.prev = b
+	}
+	s.head = b
+	if s.tail == nil {
+		s.tail = b
+	}
+}
+
+// add appends f to the bucket, promoting it if cold, and enforces the
+// budget. Caller holds the write lock.
+func (s *bucketStore) add(band int, key uint64, f *ir.Function) {
+	if _, ok := s.ids[f]; !ok {
+		s.nextID++
+		s.ids[f] = s.nextID
+		s.byID[s.nextID] = f
+	}
+	k := bucketKey{band, key}
+	b := s.hot[k]
+	if b == nil {
+		var fns []*ir.Function
+		if blob, ok := s.cold[k]; ok {
+			fns = s.decode(blob)
+			s.spillBytes -= len(blob)
+			delete(s.cold, k)
+		}
+		b = &hotBucket{k: k, fns: fns}
+		s.hot[k] = b
+	} else {
+		s.unlink(b)
+	}
+	b.fns = append(b.fns, f)
+	s.pushFront(b)
+	s.enforce()
+}
+
+// remove drops f from the bucket, wherever it lives. Caller holds the
+// write lock.
+func (s *bucketStore) remove(band int, key uint64, f *ir.Function) {
+	k := bucketKey{band, key}
+	if b, ok := s.hot[k]; ok {
+		for i, g := range b.fns {
+			if g == f {
+				b.fns = append(b.fns[:i], b.fns[i+1:]...)
+				break
+			}
+		}
+		if len(b.fns) == 0 {
+			s.unlink(b)
+			delete(s.hot, k)
+		}
+		return
+	}
+	if blob, ok := s.cold[k]; ok {
+		fns := s.decode(blob)
+		for i, g := range fns {
+			if g == f {
+				fns = append(fns[:i], fns[i+1:]...)
+				break
+			}
+		}
+		s.spillBytes -= len(blob)
+		if len(fns) == 0 {
+			delete(s.cold, k)
+			return
+		}
+		nb := s.encode(fns)
+		s.cold[k] = nb
+		s.spillBytes += len(nb)
+	}
+}
+
+// dropID releases f's id after every bucket referencing it was cleaned.
+// Caller holds the write lock.
+func (s *bucketStore) dropID(f *ir.Function) {
+	if id, ok := s.ids[f]; ok {
+		delete(s.ids, f)
+		delete(s.byID, id)
+	}
+}
+
+// peek returns the bucket's members. Caller holds (at least) the read
+// lock; a cold bucket is decoded into a fresh slice without being
+// promoted, so peek never mutates the store.
+func (s *bucketStore) peek(band int, key uint64) []*ir.Function {
+	k := bucketKey{band, key}
+	if b, ok := s.hot[k]; ok {
+		return b.fns
+	}
+	if blob, ok := s.cold[k]; ok {
+		s.faults.Add(1)
+		return s.decode(blob)
+	}
+	return nil
+}
+
+// hotBucketOverhead is the per-bucket bookkeeping charged by
+// residentBytes on top of the slice payload: the hotBucket struct
+// itself (key, slice header, LRU links) plus its map entry.
+const hotBucketOverhead = int(unsafe.Sizeof(hotBucket{})) + 16
+
+// residentBytes estimates the live-heap footprint of the hot side of
+// the store: pointer payloads of every hot bucket slice plus fixed
+// per-bucket bookkeeping. Together with spillBytes (the cold side)
+// this is the bucket storage the budget actually governs, measured
+// independently of allocator fragmentation or anything else on the
+// heap. Caller holds (at least) the read lock.
+func (s *bucketStore) residentBytes() int {
+	n := 0
+	for _, b := range s.hot {
+		n += cap(b.fns)*8 + hotBucketOverhead
+	}
+	return n
+}
+
+// enforce spills least-recently-written hot buckets past the budget.
+func (s *bucketStore) enforce() {
+	if s.budget <= 0 {
+		return
+	}
+	for len(s.hot) > s.budget && s.tail != nil {
+		b := s.tail
+		s.unlink(b)
+		delete(s.hot, b.k)
+		blob := s.encode(b.fns)
+		s.cold[b.k] = blob
+		s.spillBytes += len(blob)
+	}
+}
+
+// encode packs the bucket as sorted varint id deltas.
+func (s *bucketStore) encode(fns []*ir.Function) []byte {
+	ids := make([]uint32, 0, len(fns))
+	for _, f := range fns {
+		ids = append(ids, s.ids[f])
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	blob := make([]byte, 0, len(ids)*2)
+	prev := uint32(0)
+	for _, id := range ids {
+		blob = binary.AppendUvarint(blob, uint64(id-prev))
+		prev = id
+	}
+	return blob
+}
+
+func (s *bucketStore) decode(blob []byte) []*ir.Function {
+	var fns []*ir.Function
+	id := uint32(0)
+	for len(blob) > 0 {
+		d, n := binary.Uvarint(blob)
+		if n <= 0 {
+			break
+		}
+		blob = blob[n:]
+		id += uint32(d)
+		if f, ok := s.byID[id]; ok {
+			fns = append(fns, f)
+		}
+	}
+	return fns
+}

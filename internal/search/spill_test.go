@@ -1,0 +1,142 @@
+package search
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/ir"
+)
+
+// spillCorpus sizes like driver's scaleFuncs: fast under -short,
+// moderate for plain `go test ./...` (default package timeout), and
+// SCALE_CORPUS for the 10k acceptance run in the dispatch CI job.
+func spillCorpus(t *testing.T) []*ir.Function {
+	t.Helper()
+	n := 4000
+	if testing.Short() {
+		n = 1000
+	} else if s := os.Getenv("SCALE_CORPUS"); s != "" {
+		var err error
+		if n, err = strconv.Atoi(s); err != nil || n <= 0 {
+			t.Fatalf("bad SCALE_CORPUS %q", s)
+		}
+	}
+	return corpus.Build(corpus.Config{Funcs: n, Seed: 5}).Defined()
+}
+
+// sameLists fails unless both finders serve identical candidate lists
+// for every query function.
+func sameLists(t *testing.T, want, got Finder, topT int, label string) {
+	t.Helper()
+	for _, f := range want.Order() {
+		w := want.Candidates(f, topT)
+		g := got.Candidates(f, topT)
+		if len(w) != len(g) {
+			t.Fatalf("%s: %s: list length %d != %d", label, f.Name(), len(g), len(w))
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("%s: %s: candidate %d is %s, want %s", label, f.Name(), i, g[i].Name(), w[i].Name())
+			}
+		}
+	}
+}
+
+// TestLSHSpillIdenticalCandidates is the bounded-memory acceptance
+// property, made strict: a budgeted LSH index must serve candidate
+// lists identical to the unbounded index — spilling moves bucket
+// storage, never bucket contents — so spilled recall is trivially >=
+// in-memory recall. The test also exercises the cold-bucket remove and
+// re-index paths by mutating both indexes in lockstep.
+func TestLSHSpillIdenticalCandidates(t *testing.T) {
+	funcs := spillCorpus(t)
+	unbounded := NewLSH(funcs)
+	budget := 32
+	spilled := newLSH(funcs, nil, nil, nil, budget)
+
+	sameLists(t, unbounded, spilled, 2, "fresh index")
+
+	st := spilled.Stats()
+	if st.ResidentBuckets > budget {
+		t.Errorf("resident buckets %d exceed budget %d", st.ResidentBuckets, budget)
+	}
+	if st.SpilledBuckets == 0 {
+		t.Errorf("no buckets spilled at budget %d over %d functions", budget, len(funcs))
+	}
+	if st.SpillBytes == 0 {
+		t.Errorf("spilled buckets report zero encoded bytes")
+	}
+	if st.BucketFaults == 0 {
+		t.Errorf("queries against a mostly-spilled index reported zero faults")
+	}
+	ust := unbounded.Stats()
+	if ust.SpilledBuckets != 0 || ust.BucketFaults != 0 {
+		t.Errorf("unbounded index reports spill activity: %+v", ust)
+	}
+	// The bounded-memory property itself: hot footprint plus encoded
+	// cold blobs must undercut the unbounded index's hot footprint.
+	if got, want := st.ResidentBytes+st.SpillBytes, ust.ResidentBytes; got >= want {
+		t.Errorf("bounded bucket storage %d bytes >= unbounded %d bytes", got, want)
+	}
+
+	// Lockstep mutation: remove a slice of functions and re-index
+	// another, then demand identical lists again. Removals must find
+	// and rewrite cold bucket blobs, re-indexing must promote them.
+	for i := 0; i < len(funcs); i += 7 {
+		unbounded.Remove(funcs[i])
+		spilled.Remove(funcs[i])
+	}
+	for i := 3; i < len(funcs); i += 11 {
+		if i%7 == 0 {
+			continue
+		}
+		unbounded.Add(funcs[i])
+		spilled.Add(funcs[i])
+	}
+	sameLists(t, unbounded, spilled, 2, "after mutation")
+}
+
+// TestAddBatchMatchesSequential: for both finders, AddBatch must leave
+// the index in the same state as element-wise Add.
+func TestAddBatchMatchesSequential(t *testing.T) {
+	funcs := spillCorpus(t)
+	if testing.Short() && len(funcs) > 600 {
+		funcs = funcs[:600]
+	}
+	split := len(funcs) * 3 / 4
+	base, extra := funcs[:split], funcs[split:]
+	finders := []struct {
+		name string
+		mk   func() Finder
+	}{
+		{"exact", func() Finder { return NewExact(base) }},
+		{"lsh", func() Finder { return NewLSH(base) }},
+		{"lsh-budget", func() Finder { return newLSH(base, nil, nil, nil, 16) }},
+	}
+	for _, fd := range finders {
+		t.Run(fd.name, func(t *testing.T) {
+			seq, batch := fd.mk(), fd.mk()
+			for _, f := range extra {
+				seq.Add(f)
+			}
+			bi, ok := batch.(BatchIndexer)
+			if !ok {
+				t.Fatalf("%T does not implement BatchIndexer", batch)
+			}
+			bi.AddBatch(extra)
+			wantOrder, gotOrder := seq.Order(), batch.Order()
+			if len(wantOrder) != len(gotOrder) {
+				t.Fatalf("order length %d != %d", len(gotOrder), len(wantOrder))
+			}
+			for i := range wantOrder {
+				if wantOrder[i] != gotOrder[i] {
+					t.Fatalf("order %d is %s, want %s", i, gotOrder[i].Name(), wantOrder[i].Name())
+				}
+			}
+			sameLists(t, seq, batch, 2, fmt.Sprintf("%s after batch", fd.name))
+		})
+	}
+}

@@ -39,6 +39,14 @@ type CreateSession struct {
 	// calls; 0 inherits the daemon's -shards flag, 1 forces the exact
 	// single-walk Plan.
 	Shards int `json:"shards,omitempty"`
+	// CommitParallelism runs Optimize's commit walk component-parallel
+	// with this many workers (bit-identical to the serial walk); 0
+	// keeps the serial walk.
+	CommitParallelism int `json:"commit_parallelism,omitempty"`
+	// LSHBudget bounds the LSH finder at this many resident band
+	// buckets, spilling the rest to compact encoded form (identical
+	// candidate lists); 0 is unbounded. Ignored by the exact finder.
+	LSHBudget int `json:"lsh_budget,omitempty"`
 }
 
 // SessionInfo describes one served session; returned by session
@@ -78,6 +86,25 @@ type Updated struct {
 // functions are dropped from the candidate set.
 type Remove struct {
 	Names []string `json:"names"`
+}
+
+// Batch is the body of POST /v1/sessions/{name}/batch: one coherent
+// delta combining an optional textual-IR fragment (Update splice
+// semantics) with a set of removals, validated together and re-indexed
+// in a single pass — the bulk path for build systems shipping many
+// object deltas at once. A function named by the fragment and the
+// removal list in the same batch is rejected (400): inside one batch
+// there is no order to disambiguate the two edits.
+type Batch struct {
+	Fragment string   `json:"fragment,omitempty"`
+	Remove   []string `json:"remove,omitempty"`
+}
+
+// Batched is the batch response: the functions the fragment defined (in
+// definition order) and the number of removals applied.
+type Batched struct {
+	Funcs   []string `json:"funcs"`
+	Removed int      `json:"removed"`
 }
 
 // Report summarizes a committed run (apply or optimize) on the wire —

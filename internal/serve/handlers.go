@@ -35,6 +35,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{name}", s.admitted(s.handleDelete))
 	mux.HandleFunc("POST /v1/sessions/{name}/update", s.admitted(s.handleUpdate))
 	mux.HandleFunc("POST /v1/sessions/{name}/remove", s.admitted(s.handleRemove))
+	mux.HandleFunc("POST /v1/sessions/{name}/batch", s.admitted(s.handleBatch))
 	mux.HandleFunc("POST /v1/sessions/{name}/plan", s.admitted(s.handlePlan))
 	mux.HandleFunc("POST /v1/sessions/{name}/apply", s.admitted(s.handleApply))
 	mux.HandleFunc("POST /v1/sessions/{name}/optimize", s.admitted(s.handleOptimize))
@@ -115,6 +116,8 @@ func (s *Server) writeEngineErr(w http.ResponseWriter, err error) {
 		s.conflicts409.Add(1)
 		writeErr(w, http.StatusConflict, err)
 	case errors.Is(err, repro.ErrUnknownFunction):
+		writeErr(w, http.StatusBadRequest, err)
+	case errors.Is(err, repro.ErrConflictingDelta):
 		writeErr(w, http.StatusBadRequest, err)
 	default:
 		writeErr(w, http.StatusInternalServerError, err)
@@ -212,6 +215,18 @@ func buildOptimizer(req *api.CreateSession, shards int) (*repro.Optimizer, error
 	opts = append(opts, repro.WithParallelism(req.Parallelism))
 	opts = append(opts, repro.WithDupFold(req.DupFold))
 	opts = append(opts, repro.WithCanon(req.Canon))
+	if req.CommitParallelism < 0 {
+		return nil, fmt.Errorf("negative commit parallelism %d", req.CommitParallelism)
+	}
+	if req.CommitParallelism > 0 {
+		opts = append(opts, repro.WithCommitParallelism(req.CommitParallelism))
+	}
+	if req.LSHBudget < 0 {
+		return nil, fmt.Errorf("negative LSH budget %d", req.LSHBudget)
+	}
+	if req.LSHBudget > 0 {
+		opts = append(opts, repro.WithLSHBudget(req.LSHBudget))
+	}
 	_ = shards // recorded on the served session, not an Optimizer option
 	return repro.New(opts...)
 }
@@ -491,6 +506,60 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]int{"removed": len(req.Names)})
+	})
+}
+
+// handleBatch is update and remove as one journaled delta: the
+// fragment is spliced, then the whole batch is validated and marked by
+// a single UpdateBatch pass — one finder rebuild window, one
+// invalidation sweep — and one WAL record covers it, so recovery
+// replays it as one pass too.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.Batch
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.locked(w, r, func(sv *served) {
+		// Same quota precheck as update: bound the growth by the
+		// fragment's define count so a rejected batch touches nothing.
+		bound := strings.Count(req.Fragment, "define ")
+		s.mu.Lock()
+		cs := s.clients[sv.owner]
+		if cs != nil && cs.funcs+bound > s.cfg.MaxClientFuncs {
+			s.mu.Unlock()
+			s.rejected429.Add(1)
+			writeErr(w, http.StatusTooManyRequests,
+				fmt.Errorf("function quota exceeded: %d indexed + up to %d defined > %d", cs.funcs, bound, s.cfg.MaxClientFuncs))
+			return
+		}
+		s.mu.Unlock()
+		var names []string
+		if req.Fragment != "" {
+			before := len(sv.m.Defined())
+			var err error
+			names, err = repro.SpliceModule(sv.m, req.Fragment)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("splicing fragment: %w", err))
+				return
+			}
+			if grown := len(sv.m.Defined()) - before; grown > 0 {
+				s.mu.Lock()
+				if cs != nil {
+					cs.funcs += grown
+				}
+				s.mu.Unlock()
+				sv.funcs += grown
+			}
+		}
+		if err := sv.sess.UpdateBatch(r.Context(), names, req.Remove); err != nil {
+			s.writeEngineErr(w, err)
+			return
+		}
+		if err := s.journal(sv, wal.Record{Op: wal.OpBatch, Fragment: req.Fragment, Names: req.Remove}); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, api.Batched{Funcs: names, Removed: len(req.Remove)})
 	})
 }
 

@@ -9,6 +9,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"sort"
@@ -102,9 +103,13 @@ type LoadReport struct {
 	FinalModules map[string]string `json:"-"`
 }
 
-// loadCorpus generates the deterministic benchmark module text.
+// loadCorpus generates the deterministic benchmark module text. The rng
+// is explicit (rather than letting Generate derive one from the seed)
+// so corpus generation stays order-independent when several load runs
+// share a process — every run owns its generator.
 func loadCorpus(funcs int, seed int64) string {
-	return synth.Generate(synth.SuiteProfile(funcs, seed)).String()
+	rng := rand.New(rand.NewSource(seed))
+	return synth.GenerateWith(rng, synth.SuiteProfile(funcs, seed)).String()
 }
 
 // RunLoad stands up an in-process daemon on a loopback port, drives it

@@ -465,6 +465,16 @@ func (s *Server) replayRecord(ctx context.Context, sv *served, rec Record) error
 		return sv.sess.Update(ctx, names...)
 	case wal.OpRemove:
 		return sv.sess.Remove(ctx, rec.Names...)
+	case wal.OpBatch:
+		var names []string
+		if rec.Fragment != "" {
+			var err error
+			names, err = repro.SpliceModule(sv.m, rec.Fragment)
+			if err != nil {
+				return err
+			}
+		}
+		return sv.sess.UpdateBatch(ctx, names, rec.Names)
 	case wal.OpApply:
 		var plan repro.MergePlan
 		if err := json.Unmarshal(rec.Plan, &plan); err != nil {

@@ -136,9 +136,18 @@ func SuiteProfile(funcs int, seed int64) Profile {
 	}
 }
 
-// Generate builds the synthetic module for p.
+// Generate builds the synthetic module for p, deriving all randomness
+// from p.Seed.
 func Generate(p Profile) *ir.Module {
-	rng := rand.New(rand.NewSource(p.Seed))
+	return GenerateWith(rand.New(rand.NewSource(p.Seed)), p)
+}
+
+// GenerateWith is Generate drawing every random decision from an
+// explicit rng instead of seeding one from p.Seed. Callers that reuse a
+// corpus across tests (or interleave several generators) own the rng,
+// so generation order stays deterministic no matter who else draws
+// random numbers in the process.
+func GenerateWith(rng *rand.Rand, p Profile) *ir.Module {
 	m := ir.NewModule()
 	declareLib(m)
 	lib := libOf(m)

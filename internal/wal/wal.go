@@ -83,13 +83,15 @@ const (
 	OpBegin    = "begin"
 	OpUpdate   = "update"
 	OpRemove   = "remove"
+	OpBatch    = "batch"
 	OpApply    = "apply"
 	OpOptimize = "optimize"
 )
 
 // Record is one journaled mutation. Exactly the fields for its Op are
-// set: Fragment for update, Names for remove, Plan for apply; optimize
-// carries nothing beyond the op itself.
+// set: Fragment for update, Names for remove, Fragment plus Names
+// (the removals) for batch, Plan for apply; optimize carries nothing
+// beyond the op itself.
 type Record struct {
 	Op       string          `json:"op"`
 	Base     string          `json:"base,omitempty"` // begin record only: hex module hash

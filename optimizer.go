@@ -42,6 +42,8 @@ type Optimizer struct {
 	minInstrs   int
 	skipHot     map[string]bool
 	parallelism int
+	commitPar   int
+	lshBudget   int
 	finder      FinderKind
 	dupFold     bool
 	canon       bool
@@ -193,6 +195,47 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithCommitParallelism runs the commit walk component-parallel with up
+// to n workers: the candidate graph is partitioned into connected
+// components of candidate edges, each component's greedy walk runs
+// speculatively on its own worker with dry-run overlays, and a serial
+// validated replay commits the captured decisions in the global walk
+// order — transplanting a component's decision only after proving its
+// candidate list matches what the serial walk would see at that turn,
+// re-running the row serially otherwise. The committed module is
+// bit-identical to a serial commit at any value. Runs with family
+// flattening (WithMaxFamily >= 3) fall back to the serial walk. n = 0
+// selects runtime.NumCPU(); n = 1 is the serial walk (default).
+func WithCommitParallelism(n int) Option {
+	return func(o *Optimizer) error {
+		if n < 0 {
+			return fmt.Errorf("repro: commit parallelism must be >= 0, got %d", n)
+		}
+		if n == 0 {
+			n = runtime.NumCPU()
+		}
+		o.commitPar = n
+		return nil
+	}
+}
+
+// WithLSHBudget bounds the LSH finder at n resident band buckets
+// (default 0 = unbounded): the least recently written buckets beyond
+// the budget are spilled to compact delta-encoded blobs and decoded
+// transparently on access, so index memory stays bounded on
+// million-function modules. Candidate lists — and therefore the
+// committed merge set — are identical at any budget; only query cost
+// changes (a fault decodes one bucket). Ignored by the exact finder.
+func WithLSHBudget(n int) Option {
+	return func(o *Optimizer) error {
+		if n < 0 {
+			return fmt.Errorf("repro: LSH budget must be >= 0, got %d", n)
+		}
+		o.lshBudget = n
+		return nil
+	}
+}
+
 // WithFinder selects the candidate-search implementation (default
 // ExactFinder). ExactFinder reproduces the paper's brute-force
 // fingerprint ranking with an O(n) scan per query; LSHFinder answers
@@ -293,6 +336,13 @@ func (o *Optimizer) Target() Target { return o.target }
 // Parallelism returns the configured planning worker count.
 func (o *Optimizer) Parallelism() int { return o.parallelism }
 
+// CommitParallelism returns the configured commit-walk worker count.
+func (o *Optimizer) CommitParallelism() int { return o.commitPar }
+
+// LSHBudget returns the configured resident-bucket bound of the LSH
+// finder (0 = unbounded).
+func (o *Optimizer) LSHBudget() int { return o.lshBudget }
+
 // Finder returns the configured candidate-search implementation.
 func (o *Optimizer) Finder() FinderKind { return o.finder }
 
@@ -322,6 +372,9 @@ func (o *Optimizer) config() driver.Config {
 		MaxFamily:   o.maxFamily,
 		Parallelism: o.parallelism,
 		Progress:    o.progress,
+
+		CommitParallelism: o.commitPar,
+		LSHBudget:         o.lshBudget,
 	}
 	if o.canon {
 		cfg.Canon = canon.Default()

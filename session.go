@@ -68,6 +68,13 @@ type SessionSnapshot = driver.Snapshot
 // candidate. Test with errors.Is.
 var ErrUnknownFunction = driver.ErrUnknownFunction
 
+// ErrConflictingDelta is wrapped by Session.UpdateBatch when one batch
+// names the same function as both updated and removed — inside a batch
+// there is no order to disambiguate the two, so the edit log is
+// incoherent and the whole batch is rejected before anything is
+// marked. Test with errors.Is.
+var ErrConflictingDelta = driver.ErrConflictingDelta
+
 // ErrStalePlan is wrapped by Session.Apply when a plan's structural
 // hashes no longer match the module. Test with errors.Is; the standard
 // reaction is to Plan again and retry.
@@ -202,6 +209,33 @@ func (s *Session) Update(ctx context.Context, changed ...string) error {
 func (s *Session) Remove(ctx context.Context, names ...string) error {
 	return s.s.Remove(ctx, names...)
 }
+
+// UpdateBatch applies one coherent delta — changed (or added) function
+// names plus removed names — in a single re-index pass: one finder
+// batch insert, one candidate-cache invalidation sweep, one
+// canonical-view invalidation set, where n sequential Update/Remove
+// calls would pay n. The resulting session state (and every later
+// merge decision) is identical to the sequential calls. The whole
+// batch is validated first: an unknown name fails with
+// ErrUnknownFunction, a name in both lists with ErrConflictingDelta,
+// and on error nothing is marked.
+func (s *Session) UpdateBatch(ctx context.Context, changed, removed []string) error {
+	return s.s.UpdateBatch(ctx, changed, removed)
+}
+
+// RemoveBatch is Remove over a slice; it exists for symmetry with
+// UpdateBatch (removal marking is already a single pass).
+func (s *Session) RemoveBatch(ctx context.Context, names []string) error {
+	return s.s.RemoveBatch(ctx, names)
+}
+
+// Flush forces the pending re-index window now instead of at the next
+// Optimize, Plan or Apply: everything marked by Update, Remove or
+// UpdateBatch is re-indexed in one batched pass. Flush only moves when
+// the maintenance happens — session state and every later merge
+// decision are identical either way. A serving daemon calls it to pay
+// re-index cost at update time rather than on the first query after.
+func (s *Session) Flush() error { return s.s.Flush() }
 
 // Close releases the session's indexes; further method calls fail. The
 // module is untouched and keeps every committed merge. Close is
