@@ -6,7 +6,7 @@
 //	       [-linear-align] [-max-cells N] [-min-instrs N]
 //	       [-skip-hot f1,f2,...] [-finder exact|lsh] [-dup-fold] [-canon]
 //	       [-max-family N] [-rounds N] [-jobs N] [-commit-jobs N]
-//	       [-lsh-budget N] [-cpuprofile f] [-memprofile f]
+//	       [-lsh-budget N] [-no-funnel] [-cpuprofile f] [-memprofile f]
 //	       [-plan out.json | -apply plan.json]
 //	       [-v] [-print] [-pair f1,f2] file.ll [file2.ll ...]
 //	fmerge -corpus 10k|100k|1m|N [pipeline flags]
@@ -87,6 +87,11 @@
 //	                the coldest to compact delta-encoded blobs (0 =
 //	                unbounded); candidate lists — and merges — are
 //	                identical at any budget. Ignored by -finder exact
+//	-no-funnel      disable the planning funnel: every candidate pair
+//	                runs the full alignment and builds a trial merge
+//	                instead of being screened by an admissible profit
+//	                bound first. The funnel never changes which merges
+//	                commit — this flag exists for benchmarking it
 //
 // Scale modes (see README "Million-function corpora"):
 //
@@ -102,10 +107,12 @@
 //	                JSON artifact written to -scale-out
 //	-v              report per-stage progress on stderr, plus a
 //	                candidate-search summary (pairs tried, plan-cache
-//	                hits, finder query time), the alignment-cache
-//	                summary (sequences interned/reused, class count)
-//	                and the merge-family histogram (family sizes alive,
-//	                chains flattened)
+//	                hits, finder query time), the planning-funnel
+//	                summary (pairs screened by the profit bound,
+//	                alignments aborted early, trials skipped vs built),
+//	                the alignment-cache summary (sequences
+//	                interned/reused, class count) and the merge-family
+//	                histogram (family sizes alive, chains flattened)
 //
 // Profiling knobs (see README "Profiling the pipeline"):
 //
@@ -154,6 +161,7 @@ func main() {
 	jobs := flag.Int("jobs", 1, "parallel planning workers (0 = all CPUs)")
 	commitJobs := flag.Int("commit-jobs", 1, "component-parallel commit workers (0 = all CPUs, 1 = serial walk); committed merges are bit-identical at any value")
 	lshBudget := flag.Int("lsh-budget", 0, "resident LSH band buckets before cold buckets spill to compact blobs (0 = unbounded); candidate lists are identical at any budget")
+	noFunnel := flag.Bool("no-funnel", false, "disable the planning funnel (profit-bound screening, bounded alignment, lazy trial building); committed merges are identical either way")
 	corpusTier := flag.String("corpus", "", "optimize a generated synthetic corpus at this tier (10k, 100k, 1m or a function count) instead of reading input files")
 	scaleTiers := flag.String("scale", "", "benchmark mode: stream each comma-separated corpus tier through a session (unbounded and bounded LSH) and write a JSON artifact")
 	scaleOut := flag.String("scale-out", "BENCH_scale.json", "output file for the -scale artifact (\"-\" = stdout)")
@@ -171,7 +179,7 @@ func main() {
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		if err := runScale(ctx, strings.Split(*scaleTiers, ","), *lshBudget, *commitJobs, *scaleOut, *verbose); err != nil {
+		if err := runScale(ctx, strings.Split(*scaleTiers, ","), *lshBudget, *commitJobs, !*noFunnel, *scaleOut, *verbose); err != nil {
 			fatal(err)
 		}
 		return
@@ -244,6 +252,7 @@ func main() {
 		repro.WithParallelism(*jobs),
 		repro.WithCommitParallelism(*commitJobs),
 		repro.WithLSHBudget(*lshBudget),
+		repro.WithPlanFunnel(!*noFunnel),
 	}
 	if *skipHot != "" {
 		opts = append(opts, repro.WithSkipHot(strings.Split(*skipHot, ",")...))
@@ -538,6 +547,10 @@ func reportModule(rep *repro.Report, label string, verbose bool, finder string) 
 		}
 		if rep.OutcomeHits > 0 {
 			fmt.Fprintf(os.Stderr, "search: %d trials served from the session outcome memo\n", rep.OutcomeHits)
+		}
+		if rep.PairsScreened > 0 || rep.DPAborted > 0 || rep.TrialsSkipped > 0 {
+			fmt.Fprintf(os.Stderr, "funnel: %d pairs screened by profit bound, %d alignments aborted early, %d trials skipped, %d built (screen %v)\n",
+				rep.PairsScreened, rep.DPAborted, rep.TrialsSkipped, rep.TrialsBuilt, rep.ScreenTime.Round(time.Millisecond))
 		}
 		fmt.Fprintf(os.Stderr, "search: %d finder queries scanned %d candidates (avg %.1f/query) in %v\n",
 			rep.Search.Queries, rep.Search.Scanned, rep.Search.AvgScanned(), rep.Search.QueryTime)

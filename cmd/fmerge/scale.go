@@ -36,6 +36,21 @@ type scaleRun struct {
 	OptimizeSecs float64 `json:"optimize_secs"`
 	WallSecs     float64 `json:"wall_secs"`
 
+	// Optimize-phase breakdown: funnel screening, alignment DP, trial
+	// materialization (clone + codegen + simplify) and the commit walk.
+	// Summed across workers, so the parts can exceed OptimizeSecs wall
+	// time at parallelism > 1.
+	ScreenSecs float64 `json:"screen_secs"`
+	AlignSecs  float64 `json:"align_secs"`
+	TrialSecs  float64 `json:"trial_secs"`
+	CommitSecs float64 `json:"commit_secs"`
+
+	// Planning-funnel counters (zero when the funnel is off).
+	PairsScreened int `json:"pairs_screened,omitempty"`
+	DPAborted     int `json:"dp_aborted,omitempty"`
+	TrialsBuilt   int `json:"trials_built,omitempty"`
+	TrialsSkipped int `json:"trials_skipped,omitempty"`
+
 	// PeakHeapBytes is the maximum sampled runtime.MemStats.HeapInuse
 	// over the whole run; IndexedHeapBytes is HeapAlloc after indexing
 	// completes and a forced GC — live bytes, where the spilled and
@@ -79,7 +94,7 @@ type scaleReport struct {
 const defaultScaleBudget = 4096
 
 // runScale executes the benchmark matrix and writes the JSON artifact.
-func runScale(ctx context.Context, tiers []string, budget, commitJobs int, out string, verbose bool) error {
+func runScale(ctx context.Context, tiers []string, budget, commitJobs int, funnel bool, out string, verbose bool) error {
 	if budget <= 0 {
 		budget = defaultScaleBudget
 	}
@@ -90,7 +105,7 @@ func runScale(ctx context.Context, tiers []string, budget, commitJobs int, out s
 			return err
 		}
 		for _, b := range []int{0, budget} {
-			run, err := scaleOnce(ctx, tier, cfg, b, commitJobs, verbose)
+			run, err := scaleOnce(ctx, tier, cfg, b, commitJobs, funnel, verbose)
 			if err != nil {
 				return err
 			}
@@ -117,7 +132,7 @@ func runScale(ctx context.Context, tiers []string, budget, commitJobs int, out s
 // measuring as it goes. The generate and index phases interleave (that
 // is the point of the streaming generator: no tier-sized scratch), so
 // their times are accumulated separately across batches.
-func scaleOnce(ctx context.Context, tier string, cfg corpus.Config, budget, commitJobs int, verbose bool) (*scaleRun, error) {
+func scaleOnce(ctx context.Context, tier string, cfg corpus.Config, budget, commitJobs int, funnel, verbose bool) (*scaleRun, error) {
 	lsh, err := search.KindByName("lsh")
 	if err != nil {
 		return nil, err
@@ -128,6 +143,7 @@ func scaleOnce(ctx context.Context, tier string, cfg corpus.Config, budget, comm
 		repro.WithLSHBudget(budget),
 		repro.WithCommitParallelism(commitJobs),
 		repro.WithParallelism(0),
+		repro.WithPlanFunnel(funnel),
 		// Family flattening pins the commit walk to the serial path
 		// (its registry depends on global walk state), so the benchmark
 		// disables it to let -commit-jobs engage.
@@ -206,6 +222,16 @@ func scaleOnce(ctx context.Context, tier string, cfg corpus.Config, budget, comm
 		OptimizeSecs: optDur.Seconds(),
 		WallSecs:     wall.Seconds(),
 
+		ScreenSecs: r.ScreenTime.Seconds(),
+		AlignSecs:  r.AlignTime.Seconds(),
+		TrialSecs:  r.CodegenTime.Seconds(),
+		CommitSecs: r.CommitTime.Seconds(),
+
+		PairsScreened: r.PairsScreened,
+		DPAborted:     r.DPAborted,
+		TrialsBuilt:   r.TrialsBuilt,
+		TrialsSkipped: r.TrialsSkipped,
+
 		PeakHeapBytes:      peak,
 		IndexedHeapBytes:   indexed,
 		IndexResidentBytes: idxStats.ResidentBytes,
@@ -228,8 +254,10 @@ func scaleOnce(ctx context.Context, tier string, cfg corpus.Config, budget, comm
 	}
 	if verbose {
 		fmt.Fprintf(os.Stderr,
-			"scale[%s budget=%d]: gen %.1fs index %.1fs optimize %.1fs | index %s resident + %s spilled, live heap %s, peak %s | saved %d bytes (%d merges, %d folds, %d spilled buckets)\n",
+			"scale[%s budget=%d]: gen %.1fs index %.1fs optimize %.1fs (screen %.1fs align %.1fs trial %.1fs commit %.1fs) | funnel %d screened, %d dp-aborted, %d skipped, %d built | index %s resident + %s spilled, live heap %s, peak %s | saved %d bytes (%d merges, %d folds, %d spilled buckets)\n",
 			tier, budget, run.GenerateSecs, run.IndexSecs, run.OptimizeSecs,
+			run.ScreenSecs, run.AlignSecs, run.TrialSecs, run.CommitSecs,
+			run.PairsScreened, run.DPAborted, run.TrialsSkipped, run.TrialsBuilt,
 			fmtBytes(uint64(run.IndexResidentBytes)), fmtBytes(uint64(idxStats.SpillBytes)),
 			fmtBytes(indexed), fmtBytes(peak), run.SavedBytes, run.Merges, run.Folds, run.SpilledBuckets)
 	}

@@ -186,6 +186,17 @@ type Options struct {
 	// optimal score in O(n+m) memory for roughly twice the time. An
 	// extension beyond the paper, which uses the quadratic DP.
 	Linear bool
+	// MinScore, when positive, floors the useful alignment score: the
+	// solvers abandon the DP with ErrBelowBound as soon as the best
+	// still-achievable score provably falls below MinScore, and also
+	// when the finished score lands below it (sparing the backtrack).
+	// The per-row bound relies on rows being monotone in the column —
+	// true exactly when GapPenalty is 0 (the default scoring) — so the
+	// floor is ignored under a non-zero gap penalty. The driver's
+	// planning funnel derives MinScore from the admissible profit bound
+	// (costmodel.PairBound.ScoreNeeded), making an abort a proof that
+	// the pair cannot clear the profitability gate.
+	MinScore int32
 }
 
 // DefaultOptions returns the scoring used throughout the evaluation.
@@ -195,6 +206,12 @@ func DefaultOptions() Options {
 
 // ErrTooLarge is returned when the DP matrix would exceed Options.MaxCells.
 var ErrTooLarge = fmt.Errorf("align: sequences too large")
+
+// ErrBelowBound is returned by a bounded alignment (Options.MinScore >
+// 0) that proved the optimal score falls below the floor. No pairs are
+// produced; with an admissibly derived floor the caller may treat the
+// pair as unprofitable without aligning it.
+var ErrBelowBound = fmt.Errorf("align: optimal score below MinScore")
 
 // Result is the outcome of an alignment.
 type Result struct {
@@ -264,6 +281,15 @@ func AlignSeqsCtx(ctx context.Context, a, b Seq, opts Options) (*Result, error) 
 	return res, nil
 }
 
+// AlignSeqsBounded is AlignSeqsCtx with a score floor: minScore > 0
+// makes both solvers abandon the DP with ErrBelowBound once the
+// optimal score provably cannot reach the floor (see Options.MinScore
+// for the validity condition). minScore <= 0 is exactly AlignSeqsCtx.
+func AlignSeqsBounded(ctx context.Context, a, b Seq, opts Options, minScore int32) (*Result, error) {
+	opts.MinScore = minScore
+	return AlignSeqsCtx(ctx, a, b, opts)
+}
+
 // AlignSeqsInto is AlignSeqsCtx writing into a caller-owned Result,
 // reusing its Pairs capacity: together with the pooled DP slabs this
 // makes steady-state alignment allocation-free. On error the Result
@@ -284,6 +310,23 @@ func alignQuadratic(ctx context.Context, a, b []Entry, ca, cb []int32, opts Opti
 	cells := int64(n+1) * int64(m+1)
 	if opts.MaxCells > 0 && cells > opts.MaxCells {
 		return ErrTooLarge
+	}
+	// Bounded mode: rem tracks the match score still reachable from the
+	// rows not yet filled. With gap 0 every row is monotone in j, so
+	// row[m] is the best score over all prefixes of b, and any complete
+	// alignment scores at most row[m] + rem — two int ops per row decide
+	// whether the floor is still reachable. A non-zero gap penalty
+	// breaks the monotonicity, so the floor is ignored there.
+	minScore := opts.MinScore
+	if opts.GapPenalty != 0 {
+		minScore = 0
+	}
+	var rem int32
+	if minScore > 0 {
+		rem = classPotential(ca, opts)
+		if rem < minScore || classPotential(cb, opts) < minScore {
+			return ErrBelowBound
+		}
 	}
 	// score uses int32 (4 bytes) and dir one byte per cell, matching the
 	// quadratic footprint the paper measures.
@@ -331,6 +374,14 @@ func alignQuadratic(ctx context.Context, a, b []Entry, ca, cb []int32, opts Opti
 			row[j] = best
 			drow[j] = d
 		}
+		if minScore > 0 {
+			if matchable {
+				rem -= ms
+			}
+			if row[m]+rem < minScore {
+				return ErrBelowBound
+			}
+		}
 	}
 
 	res.Score = score[idx(n, m)]
@@ -377,6 +428,23 @@ func backtrack(a, b []Entry, dir []byte, n, m int, res *Result) {
 // poll every 16 rows keeps the overhead unmeasurable while bounding the
 // latency of cancellation by a few thousand cell updates.
 const cancelStride = 0xf
+
+// classPotential is the total match score one side can contribute: the
+// sum of per-entry match scores over entries whose class can match at
+// all. At GapPenalty 0 it upper-bounds any alignment's score, and its
+// suffix sums drive the bounded solvers' per-row abort.
+func classPotential(cs []int32, opts Options) int32 {
+	var p int32
+	for _, c := range cs {
+		switch {
+		case c == ClassLabel:
+			p += opts.LabelMatchScore
+		case c != classSolo:
+			p += opts.InstrMatchScore
+		}
+	}
+	return p
+}
 
 // AlignFunctions linearizes both functions and aligns them with the
 // solver selected by opts.Linear.

@@ -1,0 +1,90 @@
+package align
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// TestBoundedMatchesUnbounded drives both solvers over random sequences
+// with every floor from 1 past the optimum and checks the bounded DP's
+// contract exactly: under the default zero gap penalty it returns
+// ErrBelowBound precisely when the unbounded optimum falls below the
+// floor, and otherwise reproduces the unbounded result — score, match
+// counts and the pair list itself.
+func TestBoundedMatchesUnbounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	ctx := context.Background()
+	for trial := 0; trial < 60; trial++ {
+		ea := randomEntrySeq(rng, rng.Intn(28))
+		eb := randomEntrySeq(rng, rng.Intn(28))
+		it := NewInterner()
+		sa := Seq{Entries: ea, Classes: it.Classes(ea, nil)}
+		sb := Seq{Entries: eb, Classes: it.Classes(eb, nil)}
+		for _, linear := range []bool{false, true} {
+			opts := DefaultOptions()
+			opts.Linear = linear
+			ref, err := AlignSeqsCtx(ctx, sa, sb, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for floor := int32(1); floor <= ref.Score+2; floor++ {
+				res, err := AlignSeqsBounded(ctx, sa, sb, opts, floor)
+				if err == ErrBelowBound {
+					if ref.Score >= floor {
+						t.Fatalf("trial %d linear=%v: floor %d aborted but optimum is %d",
+							trial, linear, floor, ref.Score)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref.Score < floor {
+					t.Fatalf("trial %d linear=%v: floor %d should abort (optimum %d)",
+						trial, linear, floor, ref.Score)
+				}
+				if res.Score != ref.Score || res.Matches != ref.Matches ||
+					res.InstrMatches != ref.InstrMatches || len(res.Pairs) != len(ref.Pairs) {
+					t.Fatalf("trial %d linear=%v floor %d: bounded result %d/%d/%d/%d pairs differs from unbounded %d/%d/%d/%d",
+						trial, linear, floor,
+						res.Score, res.Matches, res.InstrMatches, len(res.Pairs),
+						ref.Score, ref.Matches, ref.InstrMatches, len(ref.Pairs))
+				}
+				for i := range res.Pairs {
+					if res.Pairs[i].A != ref.Pairs[i].A || res.Pairs[i].B != ref.Pairs[i].B {
+						t.Fatalf("trial %d linear=%v floor %d: pair %d differs", trial, linear, floor, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBoundIgnoredUnderGapPenalty: the per-row abort relies on rows
+// being monotone in the column, which a non-zero gap penalty breaks —
+// the floor must be ignored there, never mis-abort.
+func TestBoundIgnoredUnderGapPenalty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ctx := context.Background()
+	for trial := 0; trial < 20; trial++ {
+		ea := randomEntrySeq(rng, 12+rng.Intn(12))
+		eb := randomEntrySeq(rng, 12+rng.Intn(12))
+		it := NewInterner()
+		sa := Seq{Entries: ea, Classes: it.Classes(ea, nil)}
+		sb := Seq{Entries: eb, Classes: it.Classes(eb, nil)}
+		opts := DefaultOptions()
+		opts.GapPenalty = -1
+		ref, err := AlignSeqsCtx(ctx, sa, sb, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := AlignSeqsBounded(ctx, sa, sb, opts, ref.Score+100)
+		if err != nil {
+			t.Fatalf("trial %d: floor must be ignored under gap penalty, got %v", trial, err)
+		}
+		if res.Score != ref.Score {
+			t.Fatalf("trial %d: score %d != %d", trial, res.Score, ref.Score)
+		}
+	}
+}

@@ -46,6 +46,22 @@ func alignLinearSeqs(ctx context.Context, a, b Seq, opts Options, res *Result) e
 	// needs O(n+m) regardless, so the cap is cleared rather than letting
 	// an O(n+m) base case trip it.
 	opts.MaxCells = 0
+	// Bounded mode: one forward linear-space pass with the quadratic
+	// solver's per-row abort decides the floor before the
+	// divide-and-conquer starts (whose recursion has no single frontier
+	// to bound). The scan computes the exact optimal score when it runs
+	// to completion, so a non-aborting pass still settles score <
+	// MinScore without a backtrack.
+	if ms := opts.MinScore; ms > 0 && opts.GapPenalty == 0 {
+		below, err := boundedScan(ctx, a.Entries, b.Entries, a.Classes, b.Classes, opts, ms)
+		if err != nil {
+			return err
+		}
+		if below {
+			return ErrBelowBound
+		}
+		opts.MinScore = 0 // floor settled; solve runs unbounded
+	}
 	h, _ := hirschbergPool.Get().(*hirschberg)
 	if h == nil {
 		h = &hirschberg{}
@@ -87,6 +103,62 @@ func alignLinearSeqs(ctx context.Context, a, b Seq, opts Options, res *Result) e
 		}
 	}
 	return nil
+}
+
+// boundedScan runs one forward DP pass over pooled rows with the
+// quadratic solver's per-row abort: it reports whether the optimal
+// score of aligning a and b is provably below minScore. Requires
+// GapPenalty == 0 (the rows must be monotone for cur[m] to dominate
+// the row). When the pass completes, cur[m] is the exact optimal
+// score, so the verdict is precise, not just conservative.
+func boundedScan(ctx context.Context, a, b []Entry, ca, cb []int32, opts Options, minScore int32) (below bool, err error) {
+	rem := classPotential(ca, opts)
+	if rem < minScore || classPotential(cb, opts) < minScore {
+		return true, nil
+	}
+	m := len(b)
+	pr := getRow(m + 1)
+	cr := getRow(m + 1)
+	defer putRow(pr)
+	defer putRow(cr)
+	prev, cur := pr.row, cr.row
+	for j := 1; j <= m; j++ {
+		prev[j] = 0 // gap is 0, so the border row is all zeros
+	}
+	for i := 1; i <= len(a); i++ {
+		if i&cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+		}
+		cur[0] = 0
+		cai := ca[i-1]
+		ms := opts.InstrMatchScore
+		if cai == ClassLabel {
+			ms = opts.LabelMatchScore
+		}
+		matchable := cai != classSolo
+		for j := 1; j <= m; j++ {
+			best := prev[j]
+			if s := cur[j-1]; s > best {
+				best = s
+			}
+			if matchable && cai == cb[j-1] {
+				if s := prev[j-1] + ms; s > best {
+					best = s
+				}
+			}
+			cur[j] = best
+		}
+		if matchable {
+			rem -= ms
+		}
+		if cur[m]+rem < minScore {
+			return true, nil
+		}
+		prev, cur = cur, prev
+	}
+	return false, nil
 }
 
 // hirschbergPool recycles solver scratch state (most usefully the

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/ir"
 )
 
@@ -69,7 +70,10 @@ type capturedRow struct {
 // repaired rows recount themselves.
 type rowStats struct {
 	attempts, outcomeHits           int
+	pairsScreened, dpAborted        int
+	trialsBuilt, trialsSkipped      int
 	alignTime, codegenTime          time.Duration
+	screenTime                      time.Duration
 	sumMatrixBytes, peakMatrixBytes int64
 }
 
@@ -77,8 +81,13 @@ func rowDelta(before, after *Result) rowStats {
 	return rowStats{
 		attempts:       after.Attempts - before.Attempts,
 		outcomeHits:    after.OutcomeHits - before.OutcomeHits,
+		pairsScreened:  after.PairsScreened - before.PairsScreened,
+		dpAborted:      after.DPAborted - before.DPAborted,
+		trialsBuilt:    after.TrialsBuilt - before.TrialsBuilt,
+		trialsSkipped:  after.TrialsSkipped - before.TrialsSkipped,
 		alignTime:      after.AlignTime - before.AlignTime,
 		codegenTime:    after.CodegenTime - before.CodegenTime,
+		screenTime:     after.ScreenTime - before.ScreenTime,
 		sumMatrixBytes: after.SumMatrixBytes - before.SumMatrixBytes,
 		// Running max within the capture walk; folded via max, so the
 		// global peak is exact.
@@ -89,8 +98,13 @@ func rowDelta(before, after *Result) rowStats {
 func (rs rowStats) foldInto(res *Result) {
 	res.Attempts += rs.attempts
 	res.OutcomeHits += rs.outcomeHits
+	res.PairsScreened += rs.pairsScreened
+	res.DPAborted += rs.dpAborted
+	res.TrialsBuilt += rs.trialsBuilt
+	res.TrialsSkipped += rs.trialsSkipped
 	res.AlignTime += rs.alignTime
 	res.CodegenTime += rs.codegenTime
+	res.ScreenTime += rs.screenTime
 	res.SumMatrixBytes += rs.sumMatrixBytes
 	if rs.peakMatrixBytes > res.PeakMatrixBytes {
 		res.PeakMatrixBytes = rs.peakMatrixBytes
@@ -188,6 +202,7 @@ func (r *runner) componentWalk(ctx context.Context, candidates []*ir.Function) e
 					lens:     r.lens,
 					sizes:    r.sizes,
 					outcomes: r.outcomes,
+					funnel:   r.funnel,
 					runID:    r.runID,
 					res:      &Result{},
 					progress: func(Progress) {},
@@ -211,7 +226,12 @@ func (r *runner) componentWalk(ctx context.Context, candidates []*ir.Function) e
 		}
 	}
 
-	// Replay: serial, over the full global order.
+	// Replay: serial, over the full global order. The whole replay phase
+	// counts as commit time: transplants are pure commit work, and the
+	// repairs' replanning share is already visible in AlignTime and
+	// CodegenTime for callers that want the overlap.
+	replay0 := time.Now()
+	defer func() { res.CommitTime += time.Since(replay0) }()
 	byRow := make(map[*ir.Function]*capturedRow)
 	for _, lg := range logs {
 		for i := range lg.rows {
@@ -322,7 +342,32 @@ func (r *runner) replayRow(ctx context.Context, f1 *ir.Function, consumed map[*i
 			discard(best)
 			return nil, err
 		}
-		t := planTrialInPlace(ctx, r.m, f1, f2, r.cache, r.sizes, opts, r.cfg)
+		// Same funnel as walk's lazy replans: screen against the row's
+		// running best before any DP (see walk for the soundness rule).
+		g := noGate
+		if r.funnel != nil {
+			gate := 0
+			if best != nil {
+				gate = best.profit
+			}
+			s0 := time.Now()
+			bd, p1, p2 := r.funnel.screen(f1, f2)
+			if bd.UB <= gate && !bd.Exact {
+				// Provisional fail: settle slack and re-check (see walk).
+				bd = costmodel.Bound(p1, p2, r.cfg.Target)
+			}
+			res.ScreenTime += time.Since(s0)
+			if bd.UB <= gate {
+				res.Attempts++
+				res.PairsScreened++
+				if bd.UB <= 0 {
+					r.outcomes.put(f1, f2)
+				}
+				continue
+			}
+			g = trialGate{on: true, bd: bd, gate: gate, p1: p1, p2: p2}
+		}
+		t := planTrialInPlace(ctx, r.m, f1, f2, r.cache, r.sizes, opts, r.cfg, g)
 		res.Attempts++
 		res.AlignTime += t.alignTime
 		res.CodegenTime += t.codegenTime
@@ -339,6 +384,18 @@ func (r *runner) replayRow(ctx context.Context, f1 *ir.Function, consumed map[*i
 			}
 			continue
 		}
+		if t.skipped {
+			if t.dpAborted {
+				res.DPAborted++
+			} else {
+				res.TrialsSkipped++
+			}
+			if t.bound <= 0 {
+				r.outcomes.put(f1, f2)
+			}
+			continue
+		}
+		res.TrialsBuilt++
 		if t.profit > 0 && (best == nil || t.profit > best.profit) {
 			discard(best)
 			best = t

@@ -29,6 +29,7 @@ package driver
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/align"
@@ -204,6 +205,16 @@ type Config struct {
 	// on access. Candidate lists — and therefore the committed merge
 	// set — are identical at any budget; see search.NewIndexedBudget.
 	LSHBudget int
+	// NoPlanFunnel disables the three-stage planning funnel (profit
+	// upper-bound screening, bounded alignment DP, lazy trial
+	// materialization). The funnel is on by default because every stage
+	// is admissible — a pair is only skipped when it provably cannot
+	// beat the current profitability gate — so the committed merge set,
+	// plan contents and module text are bit-identical with the funnel
+	// on or off; the switch exists for differential testing and for
+	// measuring what the funnel buys. Ignored (always off) under
+	// Algorithm FMSA, whose scoring the bound does not model.
+	NoPlanFunnel bool
 	// Progress, when non-nil, observes pipeline events. Calls within one
 	// run are always serialized (plan events are emitted under the
 	// planner's lock, commit events from the committing goroutine), but
@@ -260,6 +271,17 @@ type Result struct {
 	// earlier run of the same Session, skipped without any alignment or
 	// codegen. Always 0 for one-shot runs.
 	OutcomeHits int
+	// Planning-funnel accounting (all zero when Config.NoPlanFunnel or
+	// under FMSA). PairsScreened counts candidate pairs the stage-1
+	// profit upper bound excluded before any DP; DPAborted counts
+	// alignments the stage-2 bounded DP abandoned mid-matrix; and of
+	// the trials whose alignment completed, TrialsBuilt materialized a
+	// merged body while TrialsSkipped were rejected by the
+	// post-alignment refined bound without any codegen. Screened,
+	// aborted and skipped pairs all stay counted in Attempts — it
+	// remains the number of candidate pairs the walk considered,
+	// however cheaply each was dispatched.
+	PairsScreened, DPAborted, TrialsBuilt, TrialsSkipped int
 	// Families counts the merge families alive after the run and
 	// FamilySizes is their size histogram (member count -> families);
 	// both are zero unless Config.MaxFamily enables family tracking.
@@ -277,8 +299,14 @@ type Result struct {
 	// AlignTime and CodegenTime accumulate the two core phases
 	// (Figure 23); TotalTime is the whole run (Figure 24's overhead).
 	// Under parallel planning the phase times are summed across workers,
-	// so they can exceed TotalTime.
+	// so they can exceed TotalTime. ScreenTime accumulates the planning
+	// funnel's stage-1 bound computations (including lazily-filled
+	// slack terms); CommitTime is the wall clock of the commit/replay
+	// section — thunk building, index retirement and (for the
+	// component-parallel walk) the validated replay, whose repair
+	// trials are also counted in AlignTime/CodegenTime.
 	AlignTime, CodegenTime, TotalTime time.Duration
+	ScreenTime, CommitTime            time.Duration
 	// PeakMatrixBytes is the largest alignment matrix (Figure 22's
 	// peak-memory proxy); SumMatrixBytes accumulates all matrices.
 	PeakMatrixBytes, SumMatrixBytes int64
@@ -384,58 +412,176 @@ type trial struct {
 	// merge of f1 and f2, and committing rewrites every member thunk.
 	family *flattenPlan
 
+	// skipped marks a funnel rejection: the trial was never
+	// materialized because its profit provably cannot exceed the gate
+	// it was planned under. bound carries the admissible upper bound
+	// that proved it (the gate itself for a stage-2 DP abort, flagged
+	// by dpAborted; the refined post-alignment bound for a stage-3
+	// skip) — the consumer memoizes the pair only when bound <= 0,
+	// exactly when a full trial would have been unprofitable.
+	skipped   bool
+	dpAborted bool
+	bound     int
+
 	alignTime, codegenTime time.Duration
 	matrixBytes            int64
 }
 
-// planTrial aligns and speculatively merges one candidate pair in a
-// worker. The pair is cloned into a fresh scratch module first: cloning
-// and operand assignment maintain use-lists on the source values, so
-// merging the originals directly would make concurrent trials sharing a
-// function race. The clones are structurally identical to the originals,
-// so the merged function (and its profit) matches what merging the
-// originals would produce — the cache exploits the same fidelity by
-// reusing each original's class vector for its clones (CloneSeq), so a
-// trial never re-interns a function.
-func planTrial(ctx context.Context, f1, f2 *ir.Function, cache *align.Cache, preSize map[*ir.Function]int, opts core.Options, cfg Config) *trial {
-	t := &trial{f1: f1, f2: f2, scratch: ir.NewModule()}
+// trialGate is the funnel verdict a trial is planned under: the stage-1
+// pair bound and the profit gate (the best profit seen so far in the
+// row, or 0) that stages 2 and 3 prune against. The profiles ride along
+// so stage 3 can settle a lazy bound's slack terms (costmodel.Bound)
+// when — and only when — it is about to rule the trial out. The zero
+// value (off) plans the trial unconditionally — FMSA, Apply replays and
+// family flatten trials always use it.
+type trialGate struct {
+	on     bool
+	bd     costmodel.PairBound
+	gate   int
+	p1, p2 *costmodel.FuncProfile
+}
+
+var noGate = trialGate{}
+
+// scratchPool recycles trial scratch modules across trials: with lazy
+// materialization only gate survivors allocate one, and the per-worker
+// reuse keeps the allocator out of the planning hot loop entirely.
+var scratchPool sync.Pool
+
+func getScratch() *ir.Module {
+	if m, _ := scratchPool.Get().(*ir.Module); m != nil {
+		return m
+	}
+	return ir.NewModule()
+}
+
+// putScratch strips every function out of m and returns it to the
+// pool. The caller must be the last reference holder — nothing may
+// read t.scratch after its trial is discarded, adopted or released.
+func putScratch(m *ir.Module) {
+	if m == nil || len(m.Globals) > 0 {
+		return
+	}
+	for len(m.Funcs) > 0 {
+		m.RemoveFunc(m.Funcs[len(m.Funcs)-1])
+	}
+	scratchPool.Put(m)
+}
+
+// recycle returns a dead trial's scratch module to the pool and drops
+// the references that would otherwise pin the trial's function graphs.
+func (t *trial) recycle() {
+	if t.scratch == nil {
+		return
+	}
+	putScratch(t.scratch)
+	t.scratch, t.merged = nil, nil
+}
+
+// planTrial aligns and — when the alignment clears its gate —
+// speculatively merges one candidate pair in a worker. The alignment
+// runs over the originals' cached sequences; only a surviving trial
+// clones the pair into a scratch module (cloning and operand assignment
+// maintain use-lists on the source values, so merging the originals
+// directly would make concurrent trials sharing a function race) and
+// remaps the alignment onto the clones. The clones are structurally
+// identical to the originals — CloneSeq reuses each original's class
+// vector and panics on divergence — so the merged function (and its
+// profit) matches what merging the originals would produce.
+func planTrial(ctx context.Context, f1, f2 *ir.Function, cache *align.Cache, preSize map[*ir.Function]int, opts core.Options, cfg Config, g trialGate) *trial {
+	t := &trial{f1: f1, f2: f2}
+	ares := t.alignStage(ctx, cache.Seq(f1), cache.Seq(f2), opts, cfg, g)
+	if ares == nil {
+		return t
+	}
+	t1 := time.Now()
+	t.scratch = getScratch()
 	c1, _ := ir.CloneFunction(f1, f1.Name())
 	c2, _ := ir.CloneFunction(f2, f2.Name())
 	t.scratch.AddFunc(c1)
 	t.scratch.AddFunc(c2)
-	t.build(ctx, t.scratch, c1, c2, cache.CloneSeq(c1, f1), cache.CloneSeq(c2, f2),
-		mergedBaseName(f1, f2), preSize, opts, cfg)
+	remapPairs(ares.Pairs, cache.CloneSeq(c1, f1), cache.CloneSeq(c2, f2))
+	t.codegen(ctx, t.scratch, c1, c2, mergedBaseName(f1, f2), ares, preSize, opts, cfg)
+	t.codegenTime = time.Since(t1)
 	return t
 }
 
 // planTrialInPlace merges the originals directly into m, like the serial
-// pipeline always did — no clones, no scratch module. Only the commit
+// pipeline always did — no clones, no scratch module (and none is
+// allocated when the funnel rejects the pair first). Only the commit
 // goroutine may call it (serial runs, and lazy replans after the worker
 // barrier), since it mutates use-lists on the pair and adds the merged
 // function to m; the caller discards the merged function on rejection.
-func planTrialInPlace(ctx context.Context, m *ir.Module, f1, f2 *ir.Function, cache *align.Cache, preSize map[*ir.Function]int, opts core.Options, cfg Config) *trial {
+func planTrialInPlace(ctx context.Context, m *ir.Module, f1, f2 *ir.Function, cache *align.Cache, preSize map[*ir.Function]int, opts core.Options, cfg Config, g trialGate) *trial {
 	t := &trial{f1: f1, f2: f2}
-	t.build(ctx, m, f1, f2, cache.Seq(f1), cache.Seq(f2), MergedName(m, f1, f2), preSize, opts, cfg)
+	ares := t.alignStage(ctx, cache.Seq(f1), cache.Seq(f2), opts, cfg, g)
+	if ares == nil {
+		return t
+	}
+	t1 := time.Now()
+	t.codegen(ctx, m, f1, f2, MergedName(m, f1, f2), ares, preSize, opts, cfg)
+	t.codegenTime = time.Since(t1)
 	return t
 }
 
-// build aligns a and b (through their pre-interned sequences) and
-// generates the merged function named name in dst, filling the trial's
-// stats, timings and profit.
-func (t *trial) build(ctx context.Context, dst *ir.Module, a, b *ir.Function, sa, sb align.Seq, name string, preSize map[*ir.Function]int, opts core.Options, cfg Config) {
+// alignStage aligns the pair's pre-interned sequences under the gate:
+// stage 2 threads the bound-derived score floor through the DP (which
+// aborts with ErrBelowBound the moment the optimum provably falls
+// short) and stage 3 re-checks the refined bound — the fixed terms
+// plus the actual matched bytes of the computed alignment — before any
+// codegen. A nil return means the trial is settled (skipped or erred)
+// and must not materialize.
+func (t *trial) alignStage(ctx context.Context, sa, sb align.Seq, opts core.Options, cfg Config, g trialGate) *align.Result {
+	aopts := opts.Align
+	// The score floor's byte arithmetic (ScoreNeeded) assumes the
+	// default 2/1/0 scoring; every funnel-eligible configuration uses
+	// it, but guard anyway so an exotic option set degrades to an
+	// unbounded DP instead of a wrong floor. A lazy bound with unknown
+	// slack terms cannot arm the floor either — its Fixed sits below
+	// the admissible value, which would raise the floor past soundness
+	// — so the DP just runs unbounded for those pairs.
+	if g.on && g.bd.Exact && aopts.InstrMatchScore == 2 && aopts.LabelMatchScore == 1 && aopts.GapPenalty == 0 {
+		aopts.MinScore = g.bd.ScoreNeeded(g.gate)
+	}
 	t0 := time.Now()
-	ares, err := align.AlignSeqsCtx(ctx, sa, sb, opts.Align)
+	ares, err := align.AlignSeqsCtx(ctx, sa, sb, aopts)
 	t.alignTime = time.Since(t0)
 	if err != nil {
+		if err == align.ErrBelowBound {
+			t.skipped, t.dpAborted = true, true
+			t.bound = g.gate
+			return nil
+		}
 		t.err = err
-		return
+		return nil
 	}
 	t.matrixBytes = ares.MatrixBytes
+	if g.on {
+		mpb := costmodel.MatchedPairBytes(ares.Pairs, cfg.Target)
+		if refined := g.bd.Fixed + mpb; refined <= g.gate {
+			// A lazy Fixed underestimates; settle the slack terms and
+			// re-check before ruling the trial out. Survivors never pay
+			// for slack here — only pairs about to be skipped do.
+			if !g.bd.Exact {
+				g.bd = costmodel.Bound(g.p1, g.p2, cfg.Target)
+				refined = g.bd.Fixed + mpb
+			}
+			if refined <= g.gate {
+				t.skipped = true
+				t.bound = refined
+				return nil
+			}
+		}
+	}
+	return ares
+}
 
-	t1 := time.Now()
+// codegen generates the merged function named name in dst from a
+// settled alignment, filling the trial's stats and profit. The caller
+// owns the codegen timing (clone and remap cost belongs to it too).
+func (t *trial) codegen(ctx context.Context, dst *ir.Module, a, b *ir.Function, name string, ares *align.Result, preSize map[*ir.Function]int, opts core.Options, cfg Config) {
 	merged, stats, err := core.MergeAlignedCtx(ctx, dst, a, b, name, ares, opts)
 	if err != nil {
-		t.codegenTime = time.Since(t1)
 		t.err = err
 		return
 	}
@@ -446,7 +592,6 @@ func (t *trial) build(ctx context.Context, dst *ir.Module, a, b *ir.Function, sa
 		transform.Mem2Reg(merged)
 	}
 	transform.Simplify(merged)
-	t.codegenTime = time.Since(t1)
 
 	t.merged = merged
 	t.stats = *stats
@@ -458,12 +603,38 @@ func (t *trial) build(ctx context.Context, dst *ir.Module, a, b *ir.Function, sa
 	t.profit = cost.Profit()
 }
 
+// remapPairs rewrites an alignment computed over the originals' cached
+// sequences onto the clones' sequences, in place. A global alignment
+// visits every entry of both sides exactly once, in order, so the
+// remap is two running cursors; the trailing assertion (together with
+// CloneSeq's length check) guarantees the clone sequences describe the
+// same linearization the DP saw.
+func remapPairs(pairs []align.Pair, sa, sb align.Seq) {
+	i, j := 0, 0
+	for k := range pairs {
+		if pairs[k].A != nil {
+			pairs[k].A = &sa.Entries[i]
+			i++
+		}
+		if pairs[k].B != nil {
+			pairs[k].B = &sb.Entries[j]
+			j++
+		}
+	}
+	if i != len(sa.Entries) || j != len(sb.Entries) {
+		panic("driver: alignment does not cover the cloned sequences")
+	}
+}
+
 // adopt moves a trial's merged function out of its scratch module into m
-// under a collision-free name.
+// under a collision-free name; the emptied scratch module returns to
+// the trial pool.
 func adopt(m *ir.Module, t *trial) {
 	t.scratch.RemoveFunc(t.merged)
 	t.merged.SetName(MergedName(m, t.f1, t.f2))
 	m.AddFunc(t.merged)
+	putScratch(t.scratch)
+	t.scratch = nil
 }
 
 // commit replaces both originals with thunks into the merged function.

@@ -1,0 +1,57 @@
+package driver
+
+// BenchmarkPlanFunnel measures the optimize wall the planning funnel
+// exists to kill, funnel on vs off, at two corpus tiers. CI runs it
+// with -benchtime 1x and archives the -json stream as BENCH_plan.json;
+// the on/off delta at equal tier is the funnel's whole story, since
+// the differential tests prove the committed merges identical.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/costmodel"
+	"repro/internal/search"
+)
+
+func BenchmarkPlanFunnel(b *testing.B) {
+	tiers := []struct {
+		name  string
+		funcs int
+	}{{"2k", 2000}, {"10k", 10000}}
+	for _, tier := range tiers {
+		for _, funnel := range []bool{true, false} {
+			b.Run(fmt.Sprintf("%s/funnel=%v", tier.name, funnel), func(b *testing.B) {
+				cfg := Config{
+					Algorithm: SalSSA, Threshold: 2, Target: costmodel.X86_64,
+					Finder: search.KindLSH, DupFold: true, MaxFamily: 3,
+					NoPlanFunnel: !funnel,
+				}
+				ctx := context.Background()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					m := corpus.Build(corpus.Config{Funcs: tier.funcs, Seed: 7})
+					s, err := OpenSession(ctx, m, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					res, err := s.Optimize(ctx)
+					b.StopTimer()
+					s.Close()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(len(res.Merges)), "merges")
+						b.ReportMetric(float64(res.FinalBytes), "final-bytes")
+						b.ReportMetric(float64(res.TrialsBuilt), "trials-built")
+						b.ReportMetric(float64(res.TrialsSkipped+res.PairsScreened), "pairs-pruned")
+					}
+				}
+			})
+		}
+	}
+}

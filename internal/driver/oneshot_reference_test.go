@@ -86,7 +86,7 @@ commitLoop:
 				discard(best)
 				break commitLoop
 			}
-			t := planTrialInPlace(ctx, m, f1, f2, cache, preSize, opts, cfg)
+			t := planTrialInPlace(ctx, m, f1, f2, cache, preSize, opts, cfg, noGate)
 			res.Attempts++
 			res.AlignTime += t.alignTime
 			res.CodegenTime += t.codegenTime

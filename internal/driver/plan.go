@@ -3,15 +3,20 @@ package driver
 import (
 	"context"
 	"sync"
+	"time"
 
+	"repro/internal/costmodel"
 	"repro/internal/ir"
 )
 
 // pairKey identifies a directed candidate pair: (f1, f2) and (f2, f1)
 // are distinct trials (the first function drives the merged name and the
-// fid polarity), matching the commit stage's lookups.
+// fid polarity), matching the commit stage's lookups. g carries the
+// pair's funnel verdict from the enumeration (gate 0 — no best trial
+// exists yet when planning runs ahead of the walk) into the worker.
 type pairKey struct {
 	f1, f2 *ir.Function
+	g      trialGate
 }
 
 // planner owns the speculative trials of the planning stage, indexed by
@@ -49,7 +54,28 @@ func (r *runner) planAll(ctx context.Context, order []*ir.Function) *planner {
 			if familyCandidate(r.families, cfg.MaxFamily, f1, f2) {
 				continue
 			}
-			keys = append(keys, pairKey{f1: f1, f2: f2})
+			// Stage-1 screen at gate 0: a pair whose admissible bound
+			// cannot clear zero profit is memoized now and never
+			// speculated (the walk will count it as an outcome hit).
+			// Survivors carry their bound so the workers can thread the
+			// score floor through the DP and skip hopeless codegen.
+			g := noGate
+			if r.funnel != nil {
+				s0 := time.Now()
+				bd, p1, p2 := r.funnel.screen(f1, f2)
+				if bd.UB <= 0 && !bd.Exact {
+					// Provisional fail: settle slack and re-check (see walk).
+					bd = costmodel.Bound(p1, p2, cfg.Target)
+				}
+				r.res.ScreenTime += time.Since(s0)
+				if bd.UB <= 0 {
+					r.res.PairsScreened++
+					r.outcomes.put(f1, f2)
+					continue
+				}
+				g = trialGate{on: true, bd: bd, p1: p1, p2: p2}
+			}
+			keys = append(keys, pairKey{f1: f1, f2: f2, g: g})
 		}
 	}
 	p := &planner{trials: make(map[*ir.Function]map[*ir.Function]*trial, len(order))}
@@ -74,7 +100,7 @@ func (r *runner) planAll(ctx context.Context, order []*ir.Function) *planner {
 				if ctx.Err() != nil {
 					continue
 				}
-				t := planTrial(ctx, k.f1, k.f2, r.cache, r.sizes, opts, cfg)
+				t := planTrial(ctx, k.f1, k.f2, r.cache, r.sizes, opts, cfg, k.g)
 				p.mu.Lock()
 				row := p.trials[k.f1]
 				if row == nil {
@@ -102,15 +128,25 @@ func (p *planner) wait() { p.wg.Wait() }
 
 // take returns the planned trial for the pair, or nil when the pair was
 // not speculated (the candidate list shifted after a commit, or planning
-// was cancelled).
+// was cancelled). The trial leaves the map: ownership moves to the
+// caller, so release can recycle whatever was never taken without
+// touching a trial the walk still holds.
 func (p *planner) take(f1, f2 *ir.Function) *trial {
-	return p.trials[f1][f2]
+	row := p.trials[f1]
+	t := row[f2]
+	if t != nil {
+		delete(row, f2)
+	}
+	return t
 }
 
 // release drops every trial speculated for f1. The commit stage calls it
 // as soon as its walk is past f1 — each function leads at most one outer
-// iteration — so dead scratch modules become collectable while later
-// functions are still being committed.
+// iteration — so untaken scratch modules go back to the trial pool while
+// later functions are still being committed.
 func (p *planner) release(f1 *ir.Function) {
+	for _, t := range p.trials[f1] {
+		t.recycle()
+	}
 	delete(p.trials, f1)
 }

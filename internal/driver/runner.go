@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/align"
 	"repro/internal/canon"
@@ -43,6 +44,14 @@ type runner struct {
 	// outcomes, when non-nil, memoizes unprofitable pairs across runs;
 	// pairs found there skip alignment and codegen entirely.
 	outcomes *outcomeCache
+	// funnel, when non-nil, is the session's planning funnel
+	// (funnel.go): candidate pairs are screened against an admissible
+	// profit bound before any DP, the bound's score floor aborts
+	// hopeless alignments mid-DP, and a trial only materializes (clone
+	// + codegen) once its computed alignment still clears the gate.
+	// Every pruned pair provably could not have changed a decision, so
+	// funnel-on and funnel-off runs commit identical merge sets.
+	funnel *funnel
 	// families, when non-nil, is the session's merge-family registry:
 	// pairs involving a family head flatten (family.go) instead of
 	// nesting, and every pairwise commit records a new two-member
@@ -109,7 +118,7 @@ func (r *runner) candidates(f *ir.Function, t int) []*ir.Function {
 // retire takes f out of play the moment a commit or fold rewrites its
 // body; see retireIndexes for the rule.
 func (r *runner) retire(f *ir.Function) {
-	retireIndexes(r.finder, r.cands, r.cache, r.lens, r.markPending, f)
+	retireIndexes(r.finder, r.cands, r.cache, r.lens, r.funnel, r.markPending, f)
 }
 
 // mergedName picks the collision-free name for merging f1 and f2,
@@ -246,12 +255,17 @@ func (r *runner) walk(ctx context.Context, candidates []*ir.Function) error {
 	mergeIdx := 0
 	var runErr error
 	// discard drops a rejected in-place trial's merged function from
-	// the module; scratch-built trials just become garbage with their
-	// module.
+	// the module; a rejected scratch-built trial returns its module to
+	// the trial pool (nothing else references it once rejected).
 	discard := func(t *trial) {
-		if t != nil && t.merged != nil && t.scratch == nil {
-			m.RemoveFunc(t.merged)
+		if t == nil {
+			return
 		}
+		if t.merged != nil && t.scratch == nil {
+			m.RemoveFunc(t.merged)
+			return
+		}
+		t.recycle()
 	}
 	// release frees f1's speculative trials once the walk is past them,
 	// so the GC can reclaim their scratch modules during the walk.
@@ -321,12 +335,48 @@ commitLoop:
 						discard(best)
 						break commitLoop
 					}
+					// Stage 1: screen the pair against the admissible
+					// profit bound before any DP. The gate is the best
+					// profit seen in this row so far — a pair whose bound
+					// cannot clear it cannot become the row's best trial,
+					// so skipping it never changes a decision. A bound
+					// that cannot even clear zero is memoized like any
+					// finished unprofitable trial.
+					g := noGate
+					if r.funnel != nil {
+						gate := 0
+						if best != nil {
+							gate = best.profit
+						}
+						s0 := time.Now()
+						bd, p1, p2 := r.funnel.screen(f1, f2)
+						if bd.UB <= gate && !bd.Exact {
+							// The lazy bound omits unsettled slack, so a
+							// failed gate is only provisional: settle the
+							// slack terms and re-check before skipping.
+							bd = costmodel.Bound(p1, p2, cfg.Target)
+						}
+						res.ScreenTime += time.Since(s0)
+						if bd.UB <= gate {
+							// A screened pair still counts as an attempt
+							// — the walk examined it — keeping Attempts
+							// the count of considered pairs whether a
+							// run skips them via memo, screen or trial.
+							res.Attempts++
+							res.PairsScreened++
+							if bd.UB <= 0 {
+								r.outcomes.put(f1, f2)
+							}
+							continue
+						}
+						g = trialGate{on: true, bd: bd, gate: gate, p1: p1, p2: p2}
+					}
 					if r.commitMode {
-						t = planTrialInPlace(ctx, m, f1, f2, r.cache, r.sizes, opts, cfg)
+						t = planTrialInPlace(ctx, m, f1, f2, r.cache, r.sizes, opts, cfg, g)
 					} else {
 						// Dry runs must not touch the module: replans use the
 						// same pure scratch-clone trials as the workers.
-						t = planTrial(ctx, f1, f2, r.cache, r.sizes, opts, cfg)
+						t = planTrial(ctx, f1, f2, r.cache, r.sizes, opts, cfg, g)
 					}
 				}
 			}
@@ -347,6 +397,23 @@ commitLoop:
 				}
 				continue
 			}
+			if t.skipped {
+				// Stages 2/3: the DP aborted below the score floor, or
+				// the refined post-alignment bound fell short. Either
+				// way the trial's profit provably cannot beat the gate
+				// it was planned under; memoize only bounds that rule
+				// out any profit at all.
+				if t.dpAborted {
+					res.DPAborted++
+				} else {
+					res.TrialsSkipped++
+				}
+				if t.bound <= 0 {
+					r.outcomes.put(f1, f2)
+				}
+				continue
+			}
+			res.TrialsBuilt++
 			if t.profit > 0 && (best == nil || t.profit > best.profit) {
 				discard(best)
 				best = t
@@ -378,6 +445,7 @@ commitLoop:
 		if best == nil {
 			continue
 		}
+		c0 := time.Now()
 		rec := MergeRecord{
 			F1: f1.Name(), F2: best.f2.Name(),
 			Profit: best.profit, Stats: best.stats, Committed: true,
@@ -459,6 +527,7 @@ commitLoop:
 			RunID: r.runID, Stage: StageCommit, F1: rec.F1, F2: rec.F2,
 			Merged: rec.Merged, Profit: rec.Profit, Committed: rec.Committed, Done: mergeIdx,
 		})
+		res.CommitTime += time.Since(c0)
 	}
 	return runErr
 }

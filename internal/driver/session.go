@@ -96,6 +96,11 @@ type Session struct {
 
 	outcomes *outcomeCache
 
+	// funnel is the planning-funnel profile store (funnel.go); nil when
+	// Config.NoPlanFunnel disables screening (and always for FMSA,
+	// whose sessions carry no persistent indexes at all).
+	funnel *funnel
+
 	// families is the merge-family registry behind chain flattening
 	// (family.go); nil unless Config.MaxFamily enables tracking. It is
 	// session state, not module state: a fresh session over an
@@ -156,6 +161,9 @@ func (s *Session) initIndexLayers() {
 	s.byName = map[string]*ir.Function{}
 	s.nameOf = map[*ir.Function]string{}
 	s.outcomes = newOutcomeCache()
+	if !s.cfg.NoPlanFunnel {
+		s.funnel = newFunnel(s.cfg.Target, s.cache)
+	}
 	s.cands = newCandidateCache(s.cfg.Threshold, s.canonFP())
 	if s.cfg.MaxFamily >= 3 {
 		s.families = newFamilySet()
@@ -194,7 +202,15 @@ func (s *Session) buildIndexes() {
 		candidates = append(candidates, f)
 		s.index(f)
 	}
-	s.finder = search.NewIndexedBudget(s.cfg.Finder, candidates, s.cache, s.bodySource(), s.cfg.LSHBudget)
+	// The funnel piggybacks profile builds on the finder's sketch pass
+	// (the linearization is hot in cache right then); the indirection
+	// avoids handing the finder a typed-nil interface when screening is
+	// off.
+	var obs search.ClassObserver
+	if s.funnel != nil {
+		obs = s.funnel
+	}
+	s.finder = search.NewIndexedBudgetObserved(s.cfg.Finder, candidates, s.cache, s.bodySource(), s.cfg.LSHBudget, obs)
 	s.lastSearch, s.lastCache = search.Stats{}, align.CacheStats{}
 }
 
@@ -218,7 +234,7 @@ func (s *Session) index(f *ir.Function) {
 // retire takes f out of play the moment its body is rewritten by a
 // commit or fold; see retireIndexes for the rule.
 func (s *Session) retire(f *ir.Function) {
-	retireIndexes(s.finder, s.cands, s.cache, s.lens, s.markPending, f)
+	retireIndexes(s.finder, s.cands, s.cache, s.lens, s.funnel, s.markPending, f)
 }
 
 // retireIndexes is the session's single index-invalidation rule for a
@@ -228,11 +244,12 @@ func (s *Session) retire(f *ir.Function) {
 // — when an owning session exists — scheduled for re-indexing at the
 // next sync. Session.retire and runner.retire both delegate here so
 // Apply and the walk can never diverge on the rule.
-func retireIndexes(finder search.Finder, cands *candidateCache, cache *align.Cache, lens *canon.Lens, markPending func(*ir.Function), f *ir.Function) {
+func retireIndexes(finder search.Finder, cands *candidateCache, cache *align.Cache, lens *canon.Lens, fu *funnel, markPending func(*ir.Function), f *ir.Function) {
 	finder.Remove(f)
 	cands.remove(f)
 	cache.Invalidate(f)
 	lens.Invalidate(f)
+	fu.invalidate(f)
 	if markPending != nil {
 		markPending(f)
 	}
@@ -244,6 +261,7 @@ func (s *Session) unindex(f *ir.Function) {
 	s.outcomes.invalidate(f)
 	s.cache.Invalidate(f)
 	s.lens.Invalidate(f)
+	s.funnel.invalidate(f)
 	if s.families != nil {
 		s.families.drop(f)
 	}
@@ -294,6 +312,10 @@ func (s *Session) sync() {
 		}
 		s.outcomes.invalidate(f)
 		s.cache.Invalidate(f)
+		// Profile before the finder re-indexes: the finder's sketch pass
+		// notifies the funnel observer, which must rebuild from the
+		// fresh linearization, not a stale one.
+		s.funnel.invalidate(f)
 		// The view must be dropped before the finder re-indexes: the
 		// finder fingerprints/sketches through the lens, so a stale view
 		// here would silently re-index the pre-edit body.
@@ -393,6 +415,7 @@ func (s *Session) Close() error {
 	s.nameOf = nil
 	s.pending = nil
 	s.outcomes = nil
+	s.funnel = nil
 	s.families = nil
 	return nil
 }
@@ -626,7 +649,7 @@ func (s *Session) Optimize(ctx context.Context) (*Result, error) {
 	r := &runner{
 		m: s.m, cfg: s.cfg, cache: s.cache, finder: s.finder,
 		cands: s.cands, lens: s.lens, sizes: s.sizes, outcomes: s.outcomes,
-		families: s.families, commitMode: true,
+		funnel: s.funnel, families: s.families, commitMode: true,
 		runID: newRunID(), res: res, progress: s.cfg.progressFn(),
 		markPending: s.markPending,
 	}
@@ -710,24 +733,39 @@ func (s *Session) optimizeFMSA(ctx context.Context, start time.Time) (*Result, e
 // structural hash; Apply verifies them, so a plan can be shipped across
 // a process boundary and applied later — or filtered first.
 func (s *Session) Plan(ctx context.Context) (*Plan, error) {
+	p, _, err := s.PlanReport(ctx)
+	return p, err
+}
+
+// PlanReport is Plan with the dry run's accounting: the Result carries
+// the planning-stage counters (attempts, cache and memo hits, funnel
+// screens and aborts) and timings, with FinalBytes equal to
+// BaselineBytes since a dry run never mutates the module. Sharded
+// planners aggregate these per-shard results into one report.
+func (s *Session) PlanReport(ctx context.Context) (*Plan, *Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.planLocked(ctx)
+}
+
+// planLocked is the dry run's body; the caller holds s.mu.
+func (s *Session) planLocked(ctx context.Context) (*Plan, *Result, error) {
 	if s.closed {
-		return nil, errClosed
+		return nil, nil, errClosed
 	}
 	if s.cfg.Algorithm == FMSA {
-		return nil, fmt.Errorf("driver: Plan requires a SalSSA variant; FMSA merges need whole-module register demotion (use Optimize)")
+		return nil, nil, fmt.Errorf("driver: Plan requires a SalSSA variant; FMSA merges need whole-module register demotion (use Optimize)")
 	}
 	start := time.Now()
 	res := s.newResult()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	s.sync()
 	r := &runner{
 		m: s.m, cfg: s.cfg, cache: s.cache, finder: s.finder,
 		cands: s.cands, lens: s.lens, sizes: s.sizes, outcomes: s.outcomes,
-		families: s.families, commitMode: false,
+		funnel: s.funnel, families: s.families, commitMode: false,
 		runID: newRunID(), res: res, progress: s.cfg.progressFn(),
 		plan: &Plan{
 			Algorithm: s.cfg.Algorithm.String(),
@@ -742,9 +780,9 @@ func (s *Session) Plan(ctx context.Context) (*Plan, error) {
 	res.FinalBytes = res.BaselineBytes
 	res.TotalTime = time.Since(start)
 	if runErr != nil {
-		return nil, runErr
+		return nil, nil, runErr
 	}
-	return r.plan, nil
+	return r.plan, res, nil
 }
 
 // Apply commits a plan — typically one returned by Plan, possibly with
@@ -860,7 +898,9 @@ func (s *Session) Apply(ctx context.Context, p *Plan) (*Result, error) {
 			t = planFlattenTrial(ctx, s.m, fp, name, true, s.cfg)
 			t.f1, t.f2 = f1, f2
 		} else {
-			t = planTrialInPlace(ctx, s.m, f1, f2, s.cache, s.sizes, opts, s.cfg)
+			// Apply commits planned merges unconditionally, so there is
+			// no gate to screen against — every trial materializes.
+			t = planTrialInPlace(ctx, s.m, f1, f2, s.cache, s.sizes, opts, s.cfg, noGate)
 		}
 		res.Attempts++
 		res.AlignTime += t.alignTime

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/ir"
 )
@@ -36,29 +37,44 @@ import (
 // not mutated beyond the usual pending-delta sync; the per-band walks
 // run over private module clones.
 func (s *Session) PlanSharded(ctx context.Context, nshards int) (*Plan, error) {
+	p, _, err := s.PlanShardedReport(ctx, nshards)
+	return p, err
+}
+
+// PlanShardedReport is PlanSharded with the aggregated accounting of
+// every stage: per-band planning counters (attempts, cache/memo hits,
+// funnel screens and aborts), timings and search statistics are summed
+// across the band walks and the cross-shard pass into one Result, so a
+// daemon can report sharded planning work with the same shape as an
+// in-session PlanReport.
+func (s *Session) PlanShardedReport(ctx context.Context, nshards int) (*Plan, *Result, error) {
 	if nshards <= 1 {
-		return s.Plan(ctx)
+		return s.PlanReport(ctx)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, errClosed
+		return nil, nil, errClosed
 	}
 	if s.cfg.Algorithm == FMSA {
-		return nil, fmt.Errorf("driver: PlanSharded requires a SalSSA variant")
+		return nil, nil, fmt.Errorf("driver: PlanSharded requires a SalSSA variant")
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	start := time.Now()
 	s.sync()
 	out := &Plan{
 		Algorithm: s.cfg.Algorithm.String(),
 		Threshold: s.cfg.Threshold,
 		RunID:     newRunID(),
 	}
+	res := s.newResult()
+	res.FinalBytes = res.BaselineBytes
 	cands := s.candidateOrder()
 	if len(cands) == 0 {
-		return out, nil
+		res.TotalTime = time.Since(start)
+		return out, res, nil
 	}
 	if nshards > len(cands) {
 		nshards = len(cands)
@@ -83,6 +99,7 @@ func (s *Session) PlanSharded(ctx context.Context, nshards int) (*Plan, error) {
 	// Stage 1: per-band plans, each over a private clone restricted to
 	// its band via SkipHot.
 	plans := make([]*Plan, len(shards))
+	reports := make([]*Result, len(shards)+1)
 	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
 	for i, shard := range shards {
@@ -93,13 +110,13 @@ func (s *Session) PlanSharded(ctx context.Context, nshards int) (*Plan, error) {
 			for _, f := range shard {
 				keep[f.Name()] = true
 			}
-			plans[i], errs[i] = s.planRestricted(ctx, keep)
+			plans[i], reports[i], errs[i] = s.planRestricted(ctx, keep)
 		}(i, shard)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	consumed := map[string]bool{}
@@ -119,15 +136,56 @@ func (s *Session) PlanSharded(ctx context.Context, nshards int) (*Plan, error) {
 			survivors[f.Name()] = true
 		}
 	}
-	cross, err := s.planRestricted(ctx, survivors)
+	cross, crossRes, err := s.planRestricted(ctx, survivors)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	reports[len(shards)] = crossRes
 	for _, p := range append(plans, cross) {
 		out.Folds = append(out.Folds, p.Folds...)
 		out.Merges = append(out.Merges, p.Merges...)
 	}
-	return out, nil
+	for _, sr := range reports {
+		mergeShardResult(res, sr)
+	}
+	res.TotalTime = time.Since(start)
+	return out, res, nil
+}
+
+// mergeShardResult folds one stage's planning Result into the aggregate
+// sharded report: counters, timings and search work sum (the stages run
+// concurrently, so summed timings are CPU time, not wall time — the
+// aggregate's TotalTime carries the wall clock), peaks take the max,
+// and the per-stage fold/merge records concatenate in the same band
+// order the sharded plan's entries do.
+func mergeShardResult(res, sr *Result) {
+	if sr == nil {
+		return
+	}
+	res.Attempts += sr.Attempts
+	res.Planned += sr.Planned
+	res.CacheHits += sr.CacheHits
+	res.OutcomeHits += sr.OutcomeHits
+	res.PairsScreened += sr.PairsScreened
+	res.DPAborted += sr.DPAborted
+	res.TrialsBuilt += sr.TrialsBuilt
+	res.TrialsSkipped += sr.TrialsSkipped
+	res.ScreenTime += sr.ScreenTime
+	res.AlignTime += sr.AlignTime
+	res.CodegenTime += sr.CodegenTime
+	res.CommitTime += sr.CommitTime
+	res.SumMatrixBytes += sr.SumMatrixBytes
+	if sr.PeakMatrixBytes > res.PeakMatrixBytes {
+		res.PeakMatrixBytes = sr.PeakMatrixBytes
+	}
+	res.Search.Queries += sr.Search.Queries
+	res.Search.Scanned += sr.Search.Scanned
+	res.Search.QueryTime += sr.Search.QueryTime
+	res.Search.Indexed += sr.Search.Indexed
+	res.AlignCache.Hits += sr.AlignCache.Hits
+	res.AlignCache.Misses += sr.AlignCache.Misses
+	res.Folds = append(res.Folds, sr.Folds...)
+	res.Merges = append(res.Merges, sr.Merges...)
 }
 
 // planRestricted plans one stage of the sharded walk: a fresh ephemeral
@@ -138,7 +196,7 @@ func (s *Session) PlanSharded(ctx context.Context, nshards int) (*Plan, error) {
 // structural hashes validate against it. Ephemeral sessions track no
 // families (their registry could never outlive the call) and report no
 // progress.
-func (s *Session) planRestricted(ctx context.Context, keep map[string]bool) (*Plan, error) {
+func (s *Session) planRestricted(ctx context.Context, keep map[string]bool) (*Plan, *Result, error) {
 	clone := ir.CloneModule(s.m)
 	cfg := s.cfg
 	cfg.MaxFamily = 0
@@ -155,8 +213,8 @@ func (s *Session) planRestricted(ctx context.Context, keep map[string]bool) (*Pl
 	cfg.SkipHot = skip
 	es, err := OpenSession(ctx, clone, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer es.Close()
-	return es.Plan(ctx)
+	return es.PlanReport(ctx)
 }

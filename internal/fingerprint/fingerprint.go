@@ -47,6 +47,22 @@ func Distance(a, b *Fingerprint) int32 {
 	return d + abs32(a.Blocks-b.Blocks)
 }
 
+// DistanceWithin is Distance with an early exit: the exact distance
+// when it is <= limit, or the first partial sum that exceeds limit.
+// Top-t scans use it to reject candidates that cannot enter a bounded
+// result set without paying for the full opcode sweep — any return
+// value > limit means Distance(a, b) > limit too, which is all the
+// caller needs.
+func DistanceWithin(a, b *Fingerprint, limit int32) int32 {
+	var d int32
+	for i := range a.OpCount {
+		if d += abs32(a.OpCount[i] - b.OpCount[i]); d > limit {
+			return d
+		}
+	}
+	return d + abs32(a.Blocks-b.Blocks)
+}
+
 // UpperBoundMatches returns an upper bound on the number of alignment
 // matches between functions with these fingerprints: min per-opcode
 // counts plus min block counts.

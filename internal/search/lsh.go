@@ -65,6 +65,10 @@ type LSH struct {
 	// Distance(a, b) >= |a.Size - b.Size|.
 	bySize []*ir.Function
 	stats  Stats
+	// obs, when non-nil, is notified after every sketch build (see
+	// search.ClassObserver). Adopted snapshot entries skip it — nothing
+	// was linearized for them.
+	obs ClassObserver
 }
 
 // NewLSH indexes every defined function in funcs. The bulk build
@@ -76,7 +80,7 @@ func NewLSH(funcs []*ir.Function) *LSH { return NewLSHWithClasses(funcs, nil) }
 // NewLSHWithClasses is NewLSH with an optional class source for the
 // sketches (see NewWithClasses).
 func NewLSHWithClasses(funcs []*ir.Function, src ClassSource) *LSH {
-	return newLSH(funcs, src, nil, nil, 0)
+	return newLSH(funcs, src, nil, nil, 0, nil)
 }
 
 // newLSH is the bulk constructor behind NewLSH, search.NewIndexed and
@@ -85,13 +89,14 @@ func NewLSHWithClasses(funcs []*ir.Function, src ClassSource) *LSH {
 // (and counted in Stats.Built) — through the view lens when one is set.
 // budget > 0 bounds the number of resident band buckets; the rest spill
 // (see bucketStore).
-func newLSH(funcs []*ir.Function, src ClassSource, view BodySource, prior map[*ir.Function]FuncIndex, budget int) *LSH {
+func newLSH(funcs []*ir.Function, src ClassSource, view BodySource, prior map[*ir.Function]FuncIndex, budget int, obs ClassObserver) *LSH {
 	l := &LSH{
 		classes: src,
 		view:    view,
 		fps:     make(map[*ir.Function]*fingerprint.Fingerprint, len(funcs)),
 		keys:    make(map[*ir.Function][]uint64, len(funcs)),
 		store:   newBucketStore(budget),
+		obs:     obs,
 	}
 	for _, f := range funcs {
 		if f.IsDecl() {
@@ -268,6 +273,9 @@ func (l *LSH) indexLocked(f *ir.Function) {
 	}
 	l.stats.Indexed++
 	l.stats.Built++
+	if l.obs != nil {
+		l.obs.ObserveIndexed(f)
+	}
 }
 
 // Add (re-)indexes f incrementally (a sorted insertion into the size
@@ -383,11 +391,29 @@ func (l *LSH) Candidates(f *ir.Function, t int) []*ir.Function {
 			}
 			return a.fn.Name() < b.fn.Name()
 		}
+		// seen dedups bucket hits (one function can share several band
+		// buckets with f) and masks them from the size walk below. The
+		// size walk itself visits each index once and runs after the
+		// buckets, so its candidates never need inserting — which keeps
+		// the map at bucket-neighborhood size instead of growing with
+		// every scanned function.
 		seen := map[*ir.Function]bool{f: true}
 		score := func(g *ir.Function) {
-			seen[g] = true
 			scanned++
-			s := scored{fn: g, d: fingerprint.Distance(self, l.fps[g])}
+			// Admission threshold first: a candidate whose distance
+			// provably exceeds the current worst of a full top-t can
+			// never enter, and DistanceWithin stops summing the moment
+			// that is settled. Ties at the radius still score fully —
+			// the name tie-break can still admit them.
+			r := int32(1<<31 - 1)
+			if len(best) >= t {
+				r = best[len(best)-1].d
+			}
+			d := fingerprint.DistanceWithin(self, l.fps[g], r)
+			if d > r {
+				return
+			}
+			s := scored{fn: g, d: d}
 			pos := sort.Search(len(best), func(i int) bool { return before(s, best[i]) })
 			if pos == len(best) {
 				if len(best) < t {
@@ -414,6 +440,7 @@ func (l *LSH) Candidates(f *ir.Function, t int) []*ir.Function {
 		for b, k := range l.keys[f] {
 			for _, g := range l.store.peek(b, k) {
 				if !seen[g] {
+					seen[g] = true
 					score(g)
 				}
 			}

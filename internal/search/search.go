@@ -186,8 +186,27 @@ func NewIndexed(kind Kind, funcs []*ir.Function, src ClassSource, view BodySourc
 // exact branch-and-bound — so the budget trades decode work for
 // resident memory, never recall. Ignored under KindExact.
 func NewIndexedBudget(kind Kind, funcs []*ir.Function, src ClassSource, view BodySource, budget int) Finder {
+	return NewIndexedBudgetObserved(kind, funcs, src, view, budget, nil)
+}
+
+// ClassObserver is notified whenever an LSH finder (re-)sketches a
+// function — at bulk construction and on every incremental Add /
+// AddBatch, but not when a snapshot entry is adopted verbatim (no
+// sketch is built then). The driver's planning funnel piggybacks its
+// per-function class-histogram builds on the notification, while the
+// function's linearization is hot. Observers must tolerate concurrent
+// calls only insofar as the finder's own entry points are called
+// concurrently.
+type ClassObserver interface {
+	ObserveIndexed(f *ir.Function)
+}
+
+// NewIndexedBudgetObserved is NewIndexedBudget with an optional sketch
+// observer. A nil obs (and any KindExact finder, which builds no
+// sketches) behaves exactly like NewIndexedBudget.
+func NewIndexedBudgetObserved(kind Kind, funcs []*ir.Function, src ClassSource, view BodySource, budget int, obs ClassObserver) Finder {
 	if kind == KindLSH {
-		return newLSH(funcs, src, view, nil, budget)
+		return newLSH(funcs, src, view, nil, budget, obs)
 	}
 	return restoreExact(funcs, view, nil)
 }
@@ -242,7 +261,7 @@ func RestoreIndexed(kind Kind, funcs []*ir.Function, src ClassSource, view BodyS
 // budget (see NewIndexedBudget).
 func RestoreIndexedBudget(kind Kind, funcs []*ir.Function, src ClassSource, view BodySource, prior map[*ir.Function]FuncIndex, budget int) Finder {
 	if kind == KindLSH {
-		return newLSH(funcs, src, view, prior, budget)
+		return newLSH(funcs, src, view, prior, budget, nil)
 	}
 	fps := make(map[*ir.Function]*fingerprint.Fingerprint, len(prior))
 	for fn, fi := range prior {

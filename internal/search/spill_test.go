@@ -55,7 +55,7 @@ func TestLSHSpillIdenticalCandidates(t *testing.T) {
 	funcs := spillCorpus(t)
 	unbounded := NewLSH(funcs)
 	budget := 32
-	spilled := newLSH(funcs, nil, nil, nil, budget)
+	spilled := newLSH(funcs, nil, nil, nil, budget, nil)
 
 	sameLists(t, unbounded, spilled, 2, "fresh index")
 
@@ -114,7 +114,7 @@ func TestAddBatchMatchesSequential(t *testing.T) {
 	}{
 		{"exact", func() Finder { return NewExact(base) }},
 		{"lsh", func() Finder { return NewLSH(base) }},
-		{"lsh-budget", func() Finder { return newLSH(base, nil, nil, nil, 16) }},
+		{"lsh-budget", func() Finder { return newLSH(base, nil, nil, nil, 16, nil) }},
 	}
 	for _, fd := range finders {
 		t.Run(fd.name, func(t *testing.T) {

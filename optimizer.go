@@ -48,7 +48,10 @@ type Optimizer struct {
 	dupFold     bool
 	canon       bool
 	maxFamily   int
-	progress    func(Progress)
+	// noPlanFunnel inverts WithPlanFunnel so the zero value keeps the
+	// funnel on — the default every caller should want.
+	noPlanFunnel bool
+	progress     func(Progress)
 }
 
 // Option configures an Optimizer under construction; see New.
@@ -275,6 +278,24 @@ func WithMaxFamily(k int) Option {
 	}
 }
 
+// WithPlanFunnel toggles the planning funnel (default on). The funnel
+// screens every candidate pair against an admissible profit upper
+// bound before any alignment runs, aborts alignment DPs that provably
+// cannot reach a competitive score, and materializes a merged body
+// only for trials whose alignment still clears the gate. All three
+// stages are conservative — a pruned trial provably could not have
+// been committed — so the merge set, folds and final module bytes are
+// identical with the funnel on or off; only planning time changes.
+// The Report's PairsScreened / DPAborted / TrialsBuilt / TrialsSkipped
+// counters show the funnel's work. Ignored under FMSA, whose trials
+// run over demoted bodies the screening profiles do not model.
+func WithPlanFunnel(on bool) Option {
+	return func(o *Optimizer) error {
+		o.noPlanFunnel = !on
+		return nil
+	}
+}
+
 // WithDupFold folds structurally identical functions into forwarding
 // thunks before any alignment runs (default off). Exact clone families
 // — equal up to local value names, detected by a stable GVN-style
@@ -355,6 +376,9 @@ func (o *Optimizer) Canon() bool { return o.canon }
 // MaxFamily returns the configured merge-family bound.
 func (o *Optimizer) MaxFamily() int { return o.maxFamily }
 
+// PlanFunnel reports whether the planning funnel is enabled.
+func (o *Optimizer) PlanFunnel() bool { return !o.noPlanFunnel }
+
 // config derives the driver configuration. The skip-hot map is shared,
 // not copied: the driver only reads it, and the Optimizer is immutable
 // after New.
@@ -375,6 +399,7 @@ func (o *Optimizer) config() driver.Config {
 
 		CommitParallelism: o.commitPar,
 		LSHBudget:         o.lshBudget,
+		NoPlanFunnel:      o.noPlanFunnel,
 	}
 	if o.canon {
 		cfg.Canon = canon.Default()

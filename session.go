@@ -133,6 +133,15 @@ func (s *Session) Plan(ctx context.Context) (*MergePlan, error) {
 	return s.s.Plan(ctx)
 }
 
+// PlanReport is Plan with the dry run's accounting: the Report carries
+// the planning-stage counters — attempts, cache and memo hits, and the
+// planning funnel's PairsScreened / DPAborted / TrialsBuilt /
+// TrialsSkipped — plus phase timings, with FinalBytes equal to
+// BaselineBytes since a dry run never mutates the module.
+func (s *Session) PlanReport(ctx context.Context) (*MergePlan, *Report, error) {
+	return s.s.PlanReport(ctx)
+}
+
 // PlanSharded is Plan split into nshards fingerprint-size bands with a
 // cross-shard second stage: each band plans in isolation (in parallel,
 // over private module clones), then one more pass covers the candidates
@@ -141,6 +150,13 @@ func (s *Session) Plan(ctx context.Context) (*MergePlan, error) {
 // latency and never flatten families; nshards <= 1 is exactly Plan.
 func (s *Session) PlanSharded(ctx context.Context, nshards int) (*MergePlan, error) {
 	return s.s.PlanSharded(ctx, nshards)
+}
+
+// PlanShardedReport is PlanSharded with the aggregated accounting of
+// every band walk and the cross-shard pass summed into one Report (see
+// PlanReport for its shape).
+func (s *Session) PlanShardedReport(ctx context.Context, nshards int) (*MergePlan, *Report, error) {
+	return s.s.PlanShardedReport(ctx, nshards)
 }
 
 // Snapshot exports the session's index state — structural hashes,
